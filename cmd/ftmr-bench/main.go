@@ -1,0 +1,59 @@
+// Command ftmr-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	ftmr-bench -fig fig5        # one figure
+//	ftmr-bench -all             # every figure, in paper order
+//	ftmr-bench -list            # list figure ids
+//
+// Environment: FTMR_QUICK=1 trims the sweeps for fast runs; FTMR_MAX_PROCS
+// caps the strong-scaling axis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftmrmpi/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure id to run (fig3..fig16)")
+	all := flag.Bool("all", false, "run every figure")
+	list := flag.Bool("list", false, "list available figures")
+	quick := flag.Bool("quick", false, "trim sweeps (same as FTMR_QUICK=1)")
+	flag.Parse()
+
+	scale := bench.ScaleFromEnv()
+	if *quick {
+		scale.Quick = true
+		if scale.MaxProcs > 256 {
+			scale.MaxProcs = 256
+		}
+	}
+
+	switch {
+	case *list:
+		for _, f := range bench.Figures() {
+			fmt.Printf("%-7s %s\n", f.ID, f.Brief)
+		}
+	case *all:
+		for _, f := range bench.Figures() {
+			start := time.Now()
+			f.Run(scale).Fprint(os.Stdout)
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", f.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *fig != "":
+		f, err := bench.Lookup(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Run(scale).Fprint(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,163 @@
+// Command ftmr-sim runs one MapReduce job on the simulated cluster with a
+// configurable workload, fault-tolerance model, and failure injection, and
+// prints the job's outcome and phase profile.
+//
+// Examples:
+//
+//	ftmr-sim -workload wordcount -procs 64 -model wc -kill-phase reduce
+//	ftmr-sim -workload blast -procs 128 -model cr -kill-phase map -restart
+//	ftmr-sim -workload pagerank -procs 64 -model nwc -kills 4 -kill-every 20ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/failure"
+	"ftmrmpi/internal/workloads"
+)
+
+func parseModel(s string) (core.Model, error) {
+	switch s {
+	case "none", "mrmpi":
+		return core.ModelNone, nil
+	case "cr":
+		return core.ModelCheckpointRestart, nil
+	case "wc":
+		return core.ModelDetectResumeWC, nil
+	case "nwc":
+		return core.ModelDetectResumeNWC, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (none|cr|wc|nwc)", s)
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "wordcount", "wordcount | pagerank | bfs | blast")
+		procs     = flag.Int("procs", 64, "number of MPI ranks")
+		model     = flag.String("model", "wc", "fault tolerance: none | cr | wc | nwc")
+		interval  = flag.Int("ckpt-interval", 100, "records per checkpoint")
+		gran      = flag.String("granularity", "record", "checkpoint granularity: record | chunk")
+		direct    = flag.Bool("ckpt-direct-pfs", false, "write checkpoints straight to the PFS")
+		prefetch  = flag.Bool("prefetch", false, "enable recovery prefetching")
+		killPhase = flag.String("kill-phase", "", "kill one rank in this phase: map | reduce")
+		killRank  = flag.Int("kill-rank", -1, "rank to kill (default procs/2)")
+		kills     = flag.Int("kills", 0, "continuous failures: total ranks to kill")
+		killEvery = flag.Duration("kill-every", 20*time.Millisecond, "continuous failure interval")
+		restart   = flag.Bool("restart", false, "after an aborted CR run, resubmit with Resume")
+		iters     = flag.Int("iters", 2, "iterations (pagerank/bfs)")
+		asJSON    = flag.Bool("json", false, "emit results as JSON lines")
+	)
+	flag.Parse()
+
+	m, err := parseModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	clus := func() *cluster.Cluster {
+		cfg := cluster.Default()
+		need := (*procs + cfg.PPN - 1) / cfg.PPN
+		if need < cfg.Nodes {
+			cfg.Nodes = need
+		}
+		return cluster.New(cfg)
+	}()
+
+	base := core.Spec{
+		Model:        m,
+		CkptInterval: *interval,
+		Prefetch:     *prefetch,
+		LoadBalance:  true,
+	}
+	if *gran == "chunk" {
+		base.Granularity = core.GranChunk
+	}
+	if *direct {
+		base.CkptLocation = core.LocDirectPFS
+	}
+
+	var h *core.Handle
+	switch *workload {
+	case "wordcount":
+		p := workloads.DefaultWordcount()
+		workloads.GenCorpus(clus, "in/job", p)
+		spec := workloads.WordcountSpec("job", "in/job", *procs, p)
+		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
+		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
+		h = core.RunSingle(clus, spec)
+	case "blast":
+		p := workloads.DefaultBlast()
+		workloads.GenBlastInput(clus, "in/job", p)
+		spec := workloads.BlastSpec("job", "in/job", *procs, p)
+		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
+		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
+		h = core.RunSingle(clus, spec)
+	case "pagerank":
+		p := workloads.DefaultPageRank()
+		workloads.GenPageRankInput(clus, "in/job", p)
+		n := *iters
+		h = core.Launch(clus, *procs, func(app *core.App) {
+			_, _ = workloads.PageRankDriver(app, base, "job", "in/job", n, p)
+		})
+	case "bfs":
+		p := workloads.DefaultBFS()
+		workloads.GenBFSInput(clus, "in/job", p)
+		h = core.Launch(clus, *procs, func(app *core.App) {
+			_, _ = workloads.BFSDriver(app, base, "job", "in/job", 20, p)
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	switch {
+	case *kills > 0:
+		failure.Continuous(h.World, *killEvery, *kills, 1)
+	case *killPhase != "":
+		rank := *killRank
+		if rank < 0 {
+			rank = *procs / 2
+		}
+		ph := core.PhaseMap
+		if *killPhase == "reduce" {
+			ph = core.PhaseReduce
+		}
+		failure.KillOnPhase(h, rank, ph, time.Millisecond)
+	}
+
+	clus.Sim.Run()
+
+	report := func(res *core.Result) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			_ = enc.Encode(res.Summary())
+			return
+		}
+		fmt.Printf("job %-24s aborted=%-5v elapsed=%8.3fs failed-ranks=%v\n",
+			res.Spec.JobID, res.Aborted, res.Elapsed().Seconds(), res.FailedRanks)
+		for _, ph := range []core.Phase{core.PhaseMap, core.PhaseShuffle, core.PhaseConvert, core.PhaseReduce, core.PhaseRecovery} {
+			if d := res.MaxPhase(ph); d > 0 {
+				fmt.Printf("    %-9s max %8.3fs   aggregate %9.3fs\n", ph, d.Seconds(), res.PhaseTotal(ph).Seconds())
+			}
+		}
+	}
+	for _, res := range h.Results() {
+		report(res)
+	}
+
+	if *restart && m == core.ModelCheckpointRestart && len(h.Results()) > 0 && h.Results()[0].Aborted {
+		fmt.Println("resubmitting with Resume...")
+		spec := h.Results()[0].Spec
+		spec.Resume = true
+		h2 := core.RunSingle(clus, spec)
+		clus.Sim.Run()
+		report(h2.Result())
+	}
+}

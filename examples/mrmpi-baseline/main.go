@@ -1,0 +1,94 @@
+// The baseline MapReduce-MPI library with its classic object API
+// (Plimpton & Devine): MapFiles → Aggregate → Convert → Reduce. This is
+// the library FT-MRMPI was built from; it has no fault tolerance — the
+// second half of the example injects a failure and shows the whole job
+// abort, which is exactly the problem the paper sets out to solve.
+//
+//	go run ./examples/mrmpi-baseline
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/mrmpi"
+)
+
+func stage(clus *cluster.Cluster) {
+	docs := []string{
+		"the quick brown fox jumps over the lazy dog\n",
+		"the dog barks and the fox runs\n",
+		"quick quick slow the fox naps\n",
+	}
+	for i, d := range docs {
+		for rep := 0; rep < 8; rep++ {
+			clus.FS.Write(fmt.Sprintf("pfs:in/docs/chunk-%02d-%02d", i, rep), []byte(d))
+		}
+	}
+}
+
+func pipeline(clus *cluster.Cluster, c *mpi.Comm) error {
+	mr := mrmpi.New(clus, c)
+	if _, err := mr.MapFiles("in/docs", func(ctx *mrmpi.Ctx, path string, data []byte, emit func(k, v []byte)) {
+		for _, w := range strings.Fields(string(data)) {
+			emit([]byte(w), []byte("1"))
+		}
+		ctx.Compute(50e-6)
+	}); err != nil {
+		return err
+	}
+	if err := mr.Aggregate(); err != nil {
+		return err
+	}
+	if err := mr.Convert(); err != nil { // the original four-pass conversion
+		return err
+	}
+	if err := mr.Reduce(func(ctx *mrmpi.Ctx, key []byte, vals [][]byte, emit func(k, v []byte)) {
+		emit(key, []byte(strconv.Itoa(len(vals))))
+	}); err != nil {
+		return err
+	}
+	_, err := mr.WriteOutput("out/docs")
+	return err
+}
+
+func main() {
+	// Run 1: no failures.
+	cfg := cluster.Default()
+	cfg.Nodes = 4
+	cfg.PPN = 2
+	clus := cluster.New(cfg)
+	stage(clus)
+	mpi.Launch(clus, 8, func(c *mpi.Comm) {
+		if err := pipeline(clus, c); err != nil {
+			fmt.Printf("rank %d: %v\n", c.Rank(), err)
+		}
+	})
+	clus.Sim.Run()
+	fmt.Println("clean run output:")
+	for _, path := range clus.PFS.List("out/docs") {
+		data, _ := clus.PFS.Peek(path)
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line != "" {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+
+	// Run 2: one process dies mid-job. The failure surfaces as MPI errors
+	// and, with the default errors-are-fatal handler, the whole job aborts.
+	clus2 := cluster.New(cfg)
+	stage(clus2)
+	w := mpi.Launch(clus2, 8, func(c *mpi.Comm) {
+		_ = pipeline(clus2, c)
+	})
+	clus2.Sim.After(50*time.Microsecond, func() { w.Kill(5) })
+	clus2.Sim.Run()
+	fmt.Printf("\nwith one failure: aborted=%v, survivors=%d/8, output files=%d\n",
+		w.Aborted(), w.AliveCount(), len(clus2.PFS.List("out/docs")))
+	fmt.Println("(no fault tolerance: everything must be re-run — see the core package for FT-MRMPI)")
+}

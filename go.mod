@@ -1,0 +1,3 @@
+module ftmrmpi
+
+go 1.22

@@ -1,0 +1,267 @@
+// Package core implements FT-MRMPI, the paper's primary contribution: a
+// fault-tolerant MapReduce framework on MPI for HPC clusters.
+//
+// The package provides the task-runner interfaces of paper Table 1
+// (FileRecordReader, FileRecordWriter, KVWriter, KMVReader, Mapper,
+// Reducer), distributed masters with hash-based task assignment and
+// gossiped task-status tables (§3.3), fine-grained progress tracking with
+// per-record commits (§3.2, Algorithm 1), record- or chunk-granularity
+// asynchronous checkpointing with a background copier thread (§4.1),
+// checkpoint prefetching for recovery (§5.1), an online regression-based
+// load balancer (§3.4), and the two fault-tolerance models:
+//
+//   - Checkpoint/restart (§4.1), built only on MPI-3 error-handler
+//     semantics plus Abort: the failed job terminates, and a resubmitted
+//     job resumes from the durable checkpoints.
+//   - Detect/resume (§4.2), built on ULFM (Revoke/Shrink/Agree): failures
+//     are masked in place, the job continues on the surviving ranks with
+//     the failed processes' work redistributed, either work-conserving
+//     (recovering from the failed ranks' checkpoints) or
+//     non-work-conserving (re-executing their tasks).
+package core
+
+import (
+	"time"
+
+	"ftmrmpi/internal/vtime"
+)
+
+// Model selects the fault-tolerance model for a job.
+type Model int
+
+const (
+	// ModelNone runs with no fault tolerance: any failure aborts the job
+	// (MPI_ERRORS_ARE_FATAL), and nothing can be recovered. This is the
+	// MR-MPI-equivalent configuration.
+	ModelNone Model = iota
+	// ModelCheckpointRestart checkpoints during execution; a failure aborts
+	// the job and a restarted job (Spec.Resume=true) continues from the
+	// checkpoints.
+	ModelCheckpointRestart
+	// ModelDetectResumeWC masks failures with ULFM and recovers the failed
+	// ranks' work from their checkpoints (work-conserving).
+	ModelDetectResumeWC
+	// ModelDetectResumeNWC masks failures with ULFM and re-executes the
+	// failed ranks' tasks (non-work-conserving, no checkpointing).
+	ModelDetectResumeNWC
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelNone:
+		return "mr-mpi"
+	case ModelCheckpointRestart:
+		return "checkpoint/restart"
+	case ModelDetectResumeWC:
+		return "detect/resume(WC)"
+	case ModelDetectResumeNWC:
+		return "detect/resume(NWC)"
+	}
+	return "unknown"
+}
+
+// Checkpointing reports whether the model writes checkpoints.
+func (m Model) Checkpointing() bool {
+	return m == ModelCheckpointRestart || m == ModelDetectResumeWC
+}
+
+// Granularity selects how much work one checkpoint covers (§4.1.2).
+type Granularity int
+
+const (
+	// GranRecord checkpoints every Spec.CkptInterval records; on recovery,
+	// committed records are restored and skipped (cheap re-read).
+	GranRecord Granularity = iota
+	// GranChunk checkpoints only completed input chunks; partially
+	// processed chunks are fully reprocessed on recovery.
+	GranChunk
+)
+
+func (g Granularity) String() string {
+	if g == GranChunk {
+		return "chunk"
+	}
+	return "record"
+}
+
+// Location selects where checkpoints are written (§4.1.3).
+type Location int
+
+const (
+	// LocLocalCopier writes checkpoints to the node-local disk and drains
+	// them to the PFS with a background copier thread.
+	LocLocalCopier Location = iota
+	// LocDirectPFS writes checkpoints directly to the shared PFS.
+	LocDirectPFS
+)
+
+func (l Location) String() string {
+	if l == LocDirectPFS {
+		return "gpfs-direct"
+	}
+	return "local+copier"
+}
+
+// ConvertAlgo selects the KV→KMV conversion algorithm (§5.2).
+type ConvertAlgo int
+
+const (
+	// ConvertTwoPass is FT-MRMPI's log-structured two-pass conversion.
+	ConvertTwoPass ConvertAlgo = iota
+	// ConvertFourPass is the original MR-MPI four-pass conversion.
+	ConvertFourPass
+)
+
+// TaskContext gives user code access to the runtime during a task: virtual
+// time, CPU charging for user compute, and the rank identity.
+type TaskContext struct {
+	proc *vtime.Proc
+	run  *runner
+}
+
+// Now returns the current virtual time.
+func (t *TaskContext) Now() time.Duration { return t.proc.Now() }
+
+// Rank returns the caller's current communicator rank.
+func (t *TaskContext) Rank() int { return t.run.comm.Rank() }
+
+// WorldRank returns the caller's world rank.
+func (t *TaskContext) WorldRank() int { return t.run.comm.WorldRank(t.run.comm.Rank()) }
+
+// AddCounter accumulates a user-defined counter, aggregated across ranks in
+// the job Result (iterative drivers use counters for convergence tests).
+func (t *TaskContext) AddCounter(name string, delta int64) {
+	t.run.m.Counters[name] += delta
+}
+
+// KVWriter receives the key-value pairs a Mapper emits (paper Table 1).
+type KVWriter interface {
+	// Emit adds one intermediate pair.
+	Emit(k, v []byte)
+}
+
+// KMVReader iterates the key→multivalue groups a Reducer consumes (paper
+// Table 1). The runner implements it over the converted KMV buffers.
+type KMVReader interface {
+	// Next returns the next group; ok=false at the end.
+	Next() (key []byte, values [][]byte, ok bool)
+}
+
+// Mapper is the user-defined map function (paper Table 1). Implementations
+// must be deterministic: recovery re-executes uncommitted records.
+type Mapper interface {
+	// Map processes one input record, emitting intermediate pairs.
+	Map(ctx *TaskContext, key, value []byte, out KVWriter) error
+	// Cost returns the CPU seconds one record costs. A "record" here is the
+	// work the runner charges between commits; external-library compute
+	// (e.g. the NCBI toolkit in MR-MPI-BLAST, §6.5) is simply a large cost.
+	Cost(key, value []byte) float64
+}
+
+// Combiner performs local pre-reduction of a partition's intermediate
+// pairs before the shuffle (the original MR-MPI exposes this as its
+// "compress" operation): all values of one key emitted by this process are
+// folded into a single value, shrinking the data the shuffle and the
+// checkpoints must move. Combining must be idempotent and associative —
+// recovery may re-run it over already-combined values.
+type Combiner interface {
+	// Combine folds one key's local values into one value.
+	Combine(ctx *TaskContext, key []byte, values [][]byte) ([]byte, error)
+	// Cost returns the CPU seconds one group costs.
+	Cost(key []byte, values [][]byte) float64
+}
+
+// Reducer is the user-defined reduce function (paper Table 1).
+type Reducer interface {
+	// Reduce processes one key group, writing output records.
+	Reduce(ctx *TaskContext, key []byte, values [][]byte, out RecordWriter) error
+	// Cost returns the CPU seconds one group costs.
+	Cost(key []byte, values [][]byte) float64
+}
+
+// FileRecordReader tokenizes an input chunk into records (paper Table 1:
+// "instead of writing the file operations in the map function, users are
+// expected to tell the library how the input data should be tokenized").
+// The library performs the chunk I/O; Open receives the raw bytes.
+type FileRecordReader interface {
+	// Open starts tokenizing a chunk's raw bytes.
+	Open(chunk Chunk, data []byte) error
+	// Next returns the next record; ok=false at the end of the chunk.
+	Next() (key, value []byte, ok bool, err error)
+	// Close releases per-chunk state.
+	Close() error
+}
+
+// RecordWriter serializes output records (paper Table 1's
+// FileRecordWriter); the library performs the actual file I/O.
+type RecordWriter interface {
+	// Write serializes one output record into the writer's buffer.
+	Write(key, value []byte)
+}
+
+// Spec describes one MapReduce job.
+type Spec struct {
+	Name     string // job name; namespaces output and checkpoints
+	JobID    string // distinct per submission chain; restarts reuse it
+	NumRanks int
+
+	InputPrefix string // PFS prefix holding the input chunk files
+
+	NewReader  func() FileRecordReader
+	NewMapper  func() Mapper
+	NewReducer func() Reducer
+	// NewCombiner, when set, enables local pre-reduction before the shuffle
+	// (MR-MPI's "compress").
+	NewCombiner func() Combiner
+
+	Model       Model
+	Granularity Granularity
+	// CkptInterval is the number of committed records per checkpoint frame
+	// (record granularity). Zero means 100, the paper's default.
+	CkptInterval int
+	CkptLocation Location
+	// Prefetch enables the recovery prefetcher (§5.1): an agent stages
+	// checkpoint streams from the PFS to the local disk in bulk before the
+	// runner replays them.
+	Prefetch bool
+	Convert  ConvertAlgo
+	// LoadBalance enables the regression-based balancer for redistribution
+	// (§3.4); when disabled, failed work is split evenly.
+	LoadBalance bool
+
+	// Resume makes a checkpoint/restart job recover from the checkpoints
+	// left by a previous attempt with the same JobID.
+	Resume bool
+
+	// KeepCheckpoints retains the checkpoint streams after a successful
+	// completion (by default they are garbage-collected once the DONE
+	// marker is durable).
+	KeepCheckpoints bool
+
+	// SkipCostFactor is the CPU cost of skipping one already-committed
+	// record during recovery, as a fraction of Mapper.Cost (default 0.05:
+	// "read the input data and skip the processed records, which is much
+	// cheaper than reprocessing").
+	SkipCostFactor float64
+
+	// StatusEvery is how many task completions pass between the distributed
+	// masters' status gossip rounds (default 1).
+	StatusEvery int
+}
+
+// withDefaults fills zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.CkptInterval <= 0 {
+		s.CkptInterval = 100
+	}
+	if s.SkipCostFactor <= 0 {
+		s.SkipCostFactor = 0.05
+	}
+	if s.StatusEvery <= 0 {
+		s.StatusEvery = 1
+	}
+	if s.JobID == "" {
+		s.JobID = s.Name
+	}
+	return s
+}

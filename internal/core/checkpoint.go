@@ -1,0 +1,317 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ftmrmpi/internal/storage"
+	"ftmrmpi/internal/vtime"
+)
+
+// Checkpoint streams (paper §4.1). Each map task and each reduce partition
+// has an append-only stream of frames. Frames are written to the node-local
+// disk and drained to the PFS by a background copier thread (§4.1.3), or
+// written directly to the PFS (LocDirectPFS). Only bytes that reached the
+// PFS before a failure are recoverable — whatever was still local when the
+// process died is lost and must be reprocessed.
+
+// Frame kinds.
+const (
+	frameMapDelta byte = 1 // a=taskID, b=endRecord; payload = KV delta (record granularity)
+	frameTaskDone byte = 2 // a=taskID, b=totalRecords; payload = full task KV (chunk granularity) or empty
+	frameShuffle  byte = 3 // a=partition; payload = post-shuffle KV for the partition
+	frameConvert  byte = 4 // a=partition; payload = encoded KMV
+	frameReduce   byte = 5 // a=partition, b=groups committed; payload = 8-byte output length
+)
+
+// frame is one decoded checkpoint frame.
+type frame struct {
+	kind    byte
+	a, b    uint32
+	payload []byte
+}
+
+// encodeFrame appends the frame's wire form to dst:
+// [kind u8][a u32][b u32][len u32][payload].
+func encodeFrame(dst []byte, kind byte, a, b uint32, payload []byte) []byte {
+	var hdr [13]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], a)
+	binary.LittleEndian.PutUint32(hdr[5:9], b)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeFrames parses a stream, tolerating a truncated trailing frame
+// (which a mid-copy failure can leave behind).
+func decodeFrames(data []byte) []frame {
+	var out []frame
+	for len(data) >= 13 {
+		kind := data[0]
+		a := binary.LittleEndian.Uint32(data[1:5])
+		b := binary.LittleEndian.Uint32(data[5:9])
+		l := int(binary.LittleEndian.Uint32(data[9:13]))
+		if len(data) < 13+l {
+			break
+		}
+		out = append(out, frame{kind: kind, a: a, b: b, payload: data[13 : 13+l : 13+l]})
+		data = data[13+l:]
+	}
+	return out
+}
+
+// countFrames returns the number of complete frames in a stream.
+func countFrames(data []byte) int { return len(decodeFrames(data)) }
+
+// ckptPath returns the PFS/local-relative path of a stream.
+func ckptPath(jobID, stream string) string {
+	return fmt.Sprintf("ckpt/%s/%s", jobID, stream)
+}
+
+func mapStream(taskID int) string    { return fmt.Sprintf("map/t%06d", taskID) }
+func partStream(part int) string     { return fmt.Sprintf("part/p%06d", part) }
+func doneMarker(jobID string) string { return fmt.Sprintf("ckpt/%s/DONE", jobID) }
+
+// copierCPUPerByte is the copier thread's CPU cost to move one byte
+// (memcpy + syscall overhead), charged against the rank's core so the
+// copier genuinely competes with the main thread (Figure 7: ~3% CPU).
+const copierCPUPerByte = 1e-8
+
+// copyReq asks the copier to drain a stream up to its current local length.
+type copyReq struct {
+	stream string
+	// drain, when non-nil, is a drain barrier: the copier sets *drainDone
+	// and wakes the process once everything enqueued earlier has copied.
+	drain     *vtime.Proc
+	drainDone *bool
+}
+
+// copier is the background agent thread that moves checkpoint data from the
+// node-local disk to the persistent PFS (§4.1.3, §5.1). It shares the CPU
+// core with the rank's main thread.
+type copier struct {
+	jobID   string
+	q       *vtime.Queue
+	proc    *vtime.Proc
+	local   *storage.Tier
+	pfs     *storage.Tier
+	cpu     *vtime.Bandwidth
+	metrics *RankMetrics
+	copied  map[string]int // stream -> bytes durable on PFS
+	stopped bool
+}
+
+func startCopier(sim *vtime.Sim, name string, jobID string, local, pfs *storage.Tier, cpu *vtime.Bandwidth, m *RankMetrics) *copier {
+	cp := &copier{
+		jobID:   jobID,
+		q:       vtime.NewQueue(sim),
+		local:   local,
+		pfs:     pfs,
+		cpu:     cpu,
+		metrics: m,
+		copied:  make(map[string]int),
+	}
+	cp.proc = sim.Spawn(name, cp.loop)
+	return cp
+}
+
+func (cp *copier) loop(p *vtime.Proc) {
+	for {
+		item, ok := cp.q.Recv(p)
+		if !ok {
+			return
+		}
+		// Coalesce the backlog: when the PFS is slow the queue grows, and
+		// draining it in one sweep turns many small frames into few large
+		// appends — the aggregation §4.1.3 relies on.
+		reqs := []copyReq{item.(copyReq)}
+		for {
+			it, ok := cp.q.TryRecv()
+			if !ok {
+				break
+			}
+			reqs = append(reqs, it.(copyReq))
+		}
+		stop := false
+		var streams []string
+		seen := make(map[string]bool)
+		var drains []copyReq
+		for _, req := range reqs {
+			switch {
+			case req.drain != nil:
+				drains = append(drains, req)
+			case req.stream == "":
+				stop = true
+			default:
+				if !seen[req.stream] {
+					seen[req.stream] = true
+					streams = append(streams, req.stream)
+				}
+			}
+		}
+		for _, s := range streams {
+			cp.copyStream(p, s)
+		}
+		for _, d := range drains {
+			*d.drainDone = true
+			p.Sim().Wake(d.drain)
+		}
+		if stop {
+			cp.stopped = true
+			return
+		}
+	}
+}
+
+// copyStream drains the not-yet-copied suffix of a stream to the PFS as one
+// aggregated write (the whole point of the copier: few large PFS ops
+// instead of many small ones).
+func (cp *copier) copyStream(p *vtime.Proc, stream string) {
+	path := ckptPath(cp.jobID, stream)
+	total := cp.local.Size(path)
+	have := cp.copied[stream]
+	if total <= have {
+		return
+	}
+	data, err := cp.local.Peek(path)
+	if err != nil {
+		return
+	}
+	delta := data[have:]
+	// Read only the new suffix from the local disk.
+	cp.metrics.CopierIO += cp.local.Charge(p, 1, len(delta))
+	// CPU for the copy path (shared with the main thread on this core).
+	cpuSec := float64(len(delta)) * copierCPUPerByte
+	t0 := p.Now()
+	cp.cpu.Acquire(p, cpuSec)
+	cp.metrics.CPUCopier += p.Now() - t0
+	cp.metrics.CopierIO += cp.pfs.AppendFile(p, path, delta, 1)
+	cp.copied[stream] = total
+}
+
+// enqueue schedules a stream drain.
+func (cp *copier) enqueue(stream string) {
+	if !cp.stopped {
+		cp.q.Send(copyReq{stream: stream})
+	}
+}
+
+// drainWait blocks the caller until every previously enqueued copy has
+// completed (the phase-end consistency point, §4.1.1).
+func (cp *copier) drainWait(p *vtime.Proc) {
+	if cp.stopped || cp.proc.Dead() {
+		return
+	}
+	done := false
+	cp.q.Send(copyReq{drain: p, drainDone: &done})
+	for !done && !cp.proc.Dead() {
+		p.Park()
+	}
+}
+
+// stop terminates the copier after outstanding work.
+func (cp *copier) stop() {
+	if !cp.stopped {
+		cp.q.Send(copyReq{stream: ""})
+	}
+}
+
+// ckptWriter is the per-rank checkpoint front-end used by the task runner.
+type ckptWriter struct {
+	enabled bool
+	jobID   string
+	loc     Location
+	local   *storage.Tier // nil when the node has no local disk
+	pfs     *storage.Tier
+	cp      *copier
+	m       *RankMetrics
+}
+
+// write appends encoded frame bytes to a stream, charging frames small
+// operations at the configured location, and returns the I/O wait incurred
+// on the main thread.
+func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int) {
+	if !w.enabled || len(data) == 0 {
+		return
+	}
+	path := ckptPath(w.jobID, stream)
+	w.m.CkptFrames += int64(frames)
+	w.m.CkptBytes += int64(len(data))
+	if w.loc == LocLocalCopier && w.local != nil {
+		w.m.IOWait += w.local.AppendFile(p, path, data, frames)
+		w.cp.enqueue(stream)
+		return
+	}
+	// Direct to PFS: every frame is a distinct small operation against the
+	// shared file system (§4.1.3's slow path).
+	w.m.IOWait += w.pfs.AppendFile(p, path, data, frames)
+}
+
+// phaseSync waits for the copier to drain (checkpoint consistency point at
+// the end of each phase, §4.1.1).
+func (w *ckptWriter) phaseSync(p *vtime.Proc) {
+	if w.enabled && w.loc == LocLocalCopier && w.cp != nil {
+		t0 := p.Now()
+		w.cp.drainWait(p)
+		w.m.IOWait += p.Now() - t0
+	}
+}
+
+// ckptReader loads checkpoint streams during recovery.
+type ckptReader struct {
+	jobID    string
+	pfs      *storage.Tier
+	local    *storage.Tier // staging target for prefetch
+	prefetch bool
+	m        *RankMetrics
+	// staged marks streams already prefetched to the local disk.
+	staged map[string]bool
+}
+
+// load returns the decoded frames of a stream, charging recovery I/O. With
+// prefetching (§5.1) the stream is first staged to the local disk in one
+// bulk PFS read, then replayed from local storage; without it, every frame
+// is a separate small PFS read.
+func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
+	path := ckptPath(r.jobID, stream)
+	if !r.pfs.Exists(path) {
+		return nil
+	}
+	r.m.RecoveredBytes += int64(r.pfs.Size(path))
+	r.m.RecoveredFrames += int64(countFrames(mustPeek(r.pfs, path)))
+	if r.prefetch && r.local != nil {
+		if !r.staged[stream] {
+			data, d, err := r.pfs.ReadFile(p, path)
+			r.m.Recovery.LoadCkpt += d
+			if err != nil {
+				return nil
+			}
+			r.m.Recovery.LoadCkpt += r.local.WriteFile(p, "stage/"+path, data)
+			r.staged[stream] = true
+		}
+		data, d, err := r.local.ReadFile(p, "stage/"+path)
+		r.m.Recovery.LoadCkpt += d
+		if err != nil {
+			return nil
+		}
+		return decodeFrames(data)
+	}
+	// Direct PFS replay: charge one operation per frame.
+	raw, err := r.pfs.Peek(path)
+	if err != nil {
+		return nil
+	}
+	frames := decodeFrames(raw)
+	r.m.Recovery.LoadCkpt += r.pfs.Charge(p, len(frames), len(raw))
+	return frames
+}
+
+// mustPeek returns a file's bytes or nil (metadata-only helper).
+func mustPeek(t *storage.Tier, path string) []byte {
+	data, err := t.Peek(path)
+	if err != nil {
+		return nil
+	}
+	return data
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/cluster"
+)
+
+// ---------------------------------------------------------------- helpers --
+
+func testCluster(nodes, ppn int) *cluster.Cluster {
+	cfg := cluster.Default()
+	cfg.Nodes = nodes
+	cfg.PPN = ppn
+	return cluster.New(cfg)
+}
+
+// wcMapper is a wordcount mapper with a configurable per-record cost.
+type wcMapper struct{ cost float64 }
+
+func (m *wcMapper) Map(ctx *TaskContext, k, v []byte, out KVWriter) error {
+	for _, w := range strings.Fields(string(v)) {
+		out.Emit([]byte(w), []byte{1})
+	}
+	return nil
+}
+func (m *wcMapper) Cost(k, v []byte) float64 { return m.cost }
+
+// wcReducer sums counts.
+type wcReducer struct{ cost float64 }
+
+func (r *wcReducer) Reduce(ctx *TaskContext, key []byte, vals [][]byte, out RecordWriter) error {
+	total := 0
+	for _, v := range vals {
+		for _, b := range v {
+			total += int(b)
+		}
+	}
+	out.Write(key, []byte(strconv.Itoa(total)))
+	return nil
+}
+func (r *wcReducer) Cost(key []byte, vals [][]byte) float64 { return r.cost * float64(len(vals)) }
+
+// genInput writes `chunks` chunk files of `lines` lines each and returns the
+// expected word counts.
+func genInput(clus *cluster.Cluster, prefix string, chunks, lines int, seed int64) map[string]int {
+	rng := rand.New(rand.NewSource(seed))
+	expect := make(map[string]int)
+	for c := 0; c < chunks; c++ {
+		var sb strings.Builder
+		for l := 0; l < lines; l++ {
+			n := rng.Intn(4) + 2
+			for w := 0; w < n; w++ {
+				word := fmt.Sprintf("w%03d", rng.Intn(120))
+				expect[word]++
+				sb.WriteString(word)
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		clus.FS.Write(fmt.Sprintf("pfs:%s/chunk-%04d", prefix, c), []byte(sb.String()))
+	}
+	return expect
+}
+
+// wcSpec builds a standard test job spec.
+func wcSpec(name string, n int, model Model) Spec {
+	return Spec{
+		Name:         name,
+		JobID:        name,
+		NumRanks:     n,
+		InputPrefix:  "in/" + name,
+		NewReader:    NewLineReader,
+		NewMapper:    func() Mapper { return &wcMapper{cost: 1e-3} },
+		NewReducer:   func() Reducer { return &wcReducer{cost: 2e-4} },
+		Model:        model,
+		CkptInterval: 5,
+		LoadBalance:  true,
+	}
+}
+
+// readOutput parses the job's output partitions into word counts.
+func readOutput(t *testing.T, clus *cluster.Cluster, jobID string, parts int) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for p := 0; p < parts; p++ {
+		data, err := clus.PFS.Peek(outputPath(jobID, p))
+		if err != nil {
+			continue // empty partition never written
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			kv := strings.SplitN(line, "\t", 2)
+			if len(kv) != 2 {
+				t.Fatalf("bad output line %q in part %d", line, p)
+			}
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				t.Fatalf("bad count in %q: %v", line, err)
+			}
+			out[kv[0]] += n
+		}
+	}
+	return out
+}
+
+func checkCounts(t *testing.T, got, want map[string]int, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d distinct words, want %d", label, len(got), len(want))
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("%s: count[%s] = %d, want %d", label, w, got[w], n)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// ------------------------------------------------------------------ tests --
+
+func TestWordcountNoFailureAllModels(t *testing.T) {
+	for _, model := range []Model{ModelNone, ModelCheckpointRestart, ModelDetectResumeWC, ModelDetectResumeNWC} {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			clus := testCluster(4, 2)
+			name := "wc-" + strconv.Itoa(int(model))
+			expect := genInput(clus, "in/"+name, 16, 40, 7)
+			h := RunSingle(clus, wcSpec(name, 8, model))
+			clus.Sim.Run()
+			res := h.Result()
+			if res == nil || res.Aborted {
+				t.Fatalf("job did not complete: %+v", res)
+			}
+			checkCounts(t, readOutput(t, clus, name, 8), expect, model.String())
+			if res.Elapsed() <= 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+func TestCheckpointOverheadIsVisibleButBounded(t *testing.T) {
+	elapsed := func(model Model) time.Duration {
+		clus := testCluster(4, 2)
+		name := "ovh-" + strconv.Itoa(int(model))
+		genInput(clus, "in/"+name, 16, 60, 9)
+		h := RunSingle(clus, wcSpec(name, 8, model))
+		clus.Sim.Run()
+		res := h.Result()
+		if res == nil || res.Aborted {
+			t.Fatalf("model %v did not complete", model)
+		}
+		return res.Elapsed()
+	}
+	base := elapsed(ModelNone)
+	cr := elapsed(ModelCheckpointRestart)
+	nwc := elapsed(ModelDetectResumeNWC)
+	if cr <= base {
+		t.Errorf("checkpointing run (%v) not slower than baseline (%v)", cr, base)
+	}
+	if float64(cr) > 2.0*float64(base) {
+		t.Errorf("checkpointing overhead too large: %v vs %v", cr, base)
+	}
+	// NWC does not checkpoint: should be close to baseline.
+	if ratio := float64(nwc) / float64(base); ratio > 1.1 {
+		t.Errorf("NWC overhead %.2fx, want ~1x", ratio)
+	}
+}
+
+func killDuring(h *Handle, rank int, ph Phase, delay time.Duration) {
+	fired := false
+	h.OnPhase(func(wr int, p Phase) {
+		if fired || wr != rank || p != ph {
+			return
+		}
+		fired = true
+		h.Clus.Sim.After(delay, func() { h.World.Kill(rank) })
+	})
+}
+
+func TestCheckpointRestartAfterMapFailure(t *testing.T) {
+	clus := testCluster(4, 2)
+	name := "cr-map"
+	expect := genInput(clus, "in/"+name, 16, 60, 11)
+	spec := wcSpec(name, 8, ModelCheckpointRestart)
+
+	h := RunSingle(clus, spec)
+	killDuring(h, 3, PhaseMap, 20*time.Millisecond)
+	clus.Sim.Run()
+	res1 := h.Result()
+	if !res1.Aborted {
+		t.Fatal("first attempt should have aborted")
+	}
+
+	// Resubmit as a new job with Resume (the user restarts it, §4.1).
+	spec.Resume = true
+	h2 := RunSingle(clus, spec)
+	clus.Sim.Run()
+	res2 := h2.Result()
+	if res2.Aborted {
+		t.Fatal("restarted job aborted")
+	}
+	checkCounts(t, readOutput(t, clus, name, 8), expect, "cr-map")
+
+	// The restart must actually have used the checkpoints.
+	restored := int64(0)
+	for _, m := range res2.Ranks {
+		if m != nil {
+			restored += m.RecordsRestored + m.RecordsSkipped
+		}
+	}
+	if restored == 0 {
+		t.Error("restart did not restore or skip any committed records")
+	}
+}
+
+func TestCheckpointRestartAfterReduceFailure(t *testing.T) {
+	clus := testCluster(4, 2)
+	name := "cr-red"
+	expect := genInput(clus, "in/"+name, 16, 60, 13)
+	spec := wcSpec(name, 8, ModelCheckpointRestart)
+
+	h := RunSingle(clus, spec)
+	killDuring(h, 5, PhaseReduce, time.Millisecond)
+	clus.Sim.Run()
+	if !h.Result().Aborted {
+		t.Fatal("first attempt should have aborted")
+	}
+
+	spec.Resume = true
+	h2 := RunSingle(clus, spec)
+	clus.Sim.Run()
+	if h2.Result().Aborted {
+		t.Fatal("restarted job aborted")
+	}
+	checkCounts(t, readOutput(t, clus, name, 8), expect, "cr-red")
+}
+
+func TestDetectResumeWCMapFailure(t *testing.T) {
+	clus := testCluster(4, 2)
+	name := "drwc-map"
+	expect := genInput(clus, "in/"+name, 16, 60, 17)
+	h := RunSingle(clus, wcSpec(name, 8, ModelDetectResumeWC))
+	killDuring(h, 2, PhaseMap, 20*time.Millisecond)
+	clus.Sim.Run()
+	res := h.Result()
+	if res.Aborted {
+		t.Fatal("detect/resume job aborted instead of masking the failure")
+	}
+	if len(res.FailedRanks) != 1 || res.FailedRanks[0] != 2 {
+		t.Fatalf("FailedRanks = %v, want [2]", res.FailedRanks)
+	}
+	checkCounts(t, readOutput(t, clus, name, 8), expect, "drwc-map")
+	if h.World.AliveCount() != 7 {
+		t.Fatalf("alive = %d, want 7", h.World.AliveCount())
+	}
+}
+
+func TestDetectResumeWCReduceFailure(t *testing.T) {
+	clus := testCluster(4, 2)
+	name := "drwc-red"
+	expect := genInput(clus, "in/"+name, 16, 60, 19)
+	h := RunSingle(clus, wcSpec(name, 8, ModelDetectResumeWC))
+	killDuring(h, 6, PhaseReduce, time.Millisecond)
+	clus.Sim.Run()
+	res := h.Result()
+	if res.Aborted {
+		t.Fatal("job aborted")
+	}
+	checkCounts(t, readOutput(t, clus, name, 8), expect, "drwc-red")
+	// Work-conserving: recovery read checkpoint data.
+	var load time.Duration
+	for _, m := range res.Ranks {
+		if m != nil {
+			load += m.Recovery.LoadCkpt
+		}
+	}
+	if load == 0 {
+		t.Error("work-conserving recovery read no checkpoints")
+	}
+}
+
+func TestDetectResumeNWCReduceFailure(t *testing.T) {
+	clus := testCluster(4, 2)
+	name := "drnwc-red"
+	expect := genInput(clus, "in/"+name, 16, 60, 23)
+	h := RunSingle(clus, wcSpec(name, 8, ModelDetectResumeNWC))
+	killDuring(h, 6, PhaseReduce, time.Millisecond)
+	clus.Sim.Run()
+	res := h.Result()
+	if res.Aborted {
+		t.Fatal("job aborted")
+	}
+	checkCounts(t, readOutput(t, clus, name, 8), expect, "drnwc-red")
+}
+
+func TestDetectResumeContinuousFailures(t *testing.T) {
+	clus := testCluster(8, 2)
+	name := "dr-cont"
+	expect := genInput(clus, "in/"+name, 32, 60, 29)
+	h := RunSingle(clus, wcSpec(name, 16, ModelDetectResumeWC))
+	// Kill three distinct ranks spread across the job.
+	for i, rank := range []int{3, 9, 14} {
+		rank := rank
+		h.Clus.Sim.After(time.Duration(25*(i+1))*time.Millisecond, func() { h.World.Kill(rank) })
+	}
+	clus.Sim.Run()
+	res := h.Result()
+	if res.Aborted {
+		t.Fatal("job aborted under continuous failures")
+	}
+	if len(res.FailedRanks) != 3 {
+		t.Fatalf("FailedRanks = %v, want 3 ranks", res.FailedRanks)
+	}
+	checkCounts(t, readOutput(t, clus, name, 16), expect, "dr-cont")
+}
+
+func TestGranularityRecordVsChunk(t *testing.T) {
+	run := func(g Granularity) (*Result, map[string]int, *cluster.Cluster, string) {
+		clus := testCluster(4, 2)
+		name := "gran-" + g.String()
+		expect := genInput(clus, "in/"+name, 16, 60, 31)
+		spec := wcSpec(name, 8, ModelDetectResumeWC)
+		spec.Granularity = g
+		h := RunSingle(clus, spec)
+		killDuring(h, 2, PhaseMap, 25*time.Millisecond)
+		clus.Sim.Run()
+		return h.Result(), expect, clus, name
+	}
+	resRec, expRec, clusRec, nameRec := run(GranRecord)
+	resChk, expChk, clusChk, nameChk := run(GranChunk)
+	if resRec.Aborted || resChk.Aborted {
+		t.Fatal("a run aborted")
+	}
+	checkCounts(t, readOutput(t, clusRec, nameRec, 8), expRec, "record-gran")
+	checkCounts(t, readOutput(t, clusChk, nameChk, 8), expChk, "chunk-gran")
+	// Record granularity skips committed records; chunk granularity
+	// reprocesses them from scratch.
+	var skippedRec, skippedChk int64
+	for _, m := range resRec.Ranks {
+		if m != nil {
+			skippedRec += m.RecordsSkipped
+		}
+	}
+	for _, m := range resChk.Ranks {
+		if m != nil {
+			skippedChk += m.RecordsSkipped
+		}
+	}
+	if skippedRec == 0 {
+		t.Error("record granularity skipped no records on recovery")
+	}
+	if skippedChk != 0 {
+		t.Errorf("chunk granularity skipped %d records; should reprocess instead", skippedChk)
+	}
+}
+
+func TestCkptLocationDirectPFSSlower(t *testing.T) {
+	run := func(loc Location) time.Duration {
+		clus := testCluster(4, 2)
+		name := "loc-" + loc.String()
+		genInput(clus, "in/"+name, 16, 60, 37)
+		spec := wcSpec(name, 8, ModelCheckpointRestart)
+		spec.CkptLocation = loc
+		spec.CkptInterval = 1 // stress small I/O
+		h := RunSingle(clus, spec)
+		clus.Sim.Run()
+		if h.Result().Aborted {
+			t.Fatal("job aborted")
+		}
+		return h.Result().Elapsed()
+	}
+	local := run(LocLocalCopier)
+	direct := run(LocDirectPFS)
+	if direct <= local {
+		t.Errorf("direct-PFS checkpointing (%v) should be slower than local+copier (%v)", direct, local)
+	}
+}
+
+func TestIterativeAppWithDRFailure(t *testing.T) {
+	clus := testCluster(4, 2)
+	expect1 := genInput(clus, "in/iter-0", 16, 40, 41)
+	expect2 := genInput(clus, "in/iter-1", 16, 40, 43)
+	h := Launch(clus, 8, func(app *App) {
+		for i := 0; i < 2; i++ {
+			spec := wcSpec(fmt.Sprintf("iter-%d", i), 8, ModelDetectResumeWC)
+			spec.InputPrefix = fmt.Sprintf("in/iter-%d", i)
+			if _, err := app.RunJob(spec); err != nil {
+				return
+			}
+		}
+	})
+	killDuring(h, 4, PhaseMap, 15*time.Millisecond)
+	clus.Sim.Run()
+	rs := h.Results()
+	if len(rs) != 2 || rs[0].Aborted || rs[1].Aborted {
+		t.Fatalf("iterative app results: %+v", rs)
+	}
+	checkCounts(t, readOutput(t, clus, "iter-0", 8), expect1, "iter-0")
+	checkCounts(t, readOutput(t, clus, "iter-1", 8), expect2, "iter-1")
+	// The second job ran on the shrunken world.
+	if h.World.AliveCount() != 7 {
+		t.Fatalf("alive = %d, want 7", h.World.AliveCount())
+	}
+}
+
+func TestNoStrandedProcsAfterRuns(t *testing.T) {
+	clus := testCluster(4, 2)
+	name := "stranded"
+	genInput(clus, "in/"+name, 8, 20, 47)
+	h := RunSingle(clus, wcSpec(name, 8, ModelDetectResumeWC))
+	killDuring(h, 1, PhaseMap, 10*time.Millisecond)
+	clus.Sim.Run()
+	if res := h.Result(); res.Aborted {
+		t.Fatal("job aborted")
+	}
+	if st := clus.Sim.Stranded(); len(st) != 0 {
+		t.Fatalf("stranded procs: %v", st)
+	}
+}

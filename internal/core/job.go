@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/mpi"
+)
+
+// Handle is the submission-side view of a running application: the bench
+// harness launches an application, drives the simulation, and then reads
+// the per-job Results.
+type Handle struct {
+	Clus  *cluster.Cluster
+	World *mpi.World
+
+	appN    int
+	results []*Result
+	phaseCb []func(worldRank int, ph Phase)
+	noted   map[int]bool
+}
+
+// App is one rank's context inside a launched application. The driver
+// function runs identically on every rank (SPMD) and submits jobs through
+// it; under detect/resume the communicator shrinks across failures and
+// subsequent jobs run on the survivors.
+type App struct {
+	h      *Handle
+	comm   *mpi.Comm
+	jobIdx int
+}
+
+// Launch starts an application of n ranks running driver on clus. The
+// caller drives clus.Sim.Run() and then inspects Results.
+func Launch(clus *cluster.Cluster, n int, driver func(app *App)) *Handle {
+	if n <= 0 || n > clus.Slots() {
+		panic(fmt.Sprintf("core: cannot launch %d ranks on a cluster with %d slots", n, clus.Slots()))
+	}
+	h := &Handle{Clus: clus, appN: n, noted: make(map[int]bool)}
+	h.World = mpi.Launch(clus, n, func(c *mpi.Comm) {
+		driver(&App{h: h, comm: c})
+	})
+	return h
+}
+
+// RunSingle launches an application that runs exactly one job.
+func RunSingle(clus *cluster.Cluster, spec Spec) *Handle {
+	return Launch(clus, spec.NumRanks, func(app *App) {
+		_, _ = app.RunJob(spec)
+	})
+}
+
+// Results returns the per-job results in submission order.
+func (h *Handle) Results() []*Result { return h.results }
+
+// Result returns the single result of a RunSingle application (nil if the
+// job never started).
+func (h *Handle) Result() *Result {
+	if len(h.results) == 0 {
+		return nil
+	}
+	return h.results[0]
+}
+
+// OnPhase registers a callback fired when any rank enters a phase; the
+// failure injector uses it to kill processes at a chosen point.
+func (h *Handle) OnPhase(fn func(worldRank int, ph Phase)) { h.phaseCb = append(h.phaseCb, fn) }
+
+func (h *Handle) notifyPhase(worldRank int, ph Phase) {
+	for _, fn := range h.phaseCb {
+		fn(worldRank, ph)
+	}
+}
+
+// resultSlot returns (creating on first arrival) the Result for job index.
+func (h *Handle) resultSlot(idx int, spec Spec) *Result {
+	for len(h.results) <= idx {
+		h.results = append(h.results, nil)
+	}
+	if h.results[idx] == nil {
+		h.results[idx] = &Result{
+			Spec:  spec,
+			Start: h.Clus.Sim.Now(),
+			End:   h.Clus.Sim.Now(),
+			Ranks: make([]*RankMetrics, h.appN),
+		}
+	}
+	return h.results[idx]
+}
+
+// jobCtx is shared by one job's runners.
+// (declared here; fields referenced from runner.go)
+
+func (j *jobCtx) noteFailed(ranks []int) {
+	for _, r := range ranks {
+		if !j.h.noted[r] {
+			j.h.noted[r] = true
+			j.res.FailedRanks = append(j.res.FailedRanks, r)
+		}
+	}
+}
+
+// recoverable reports whether the detect/resume loop can mask err.
+func recoverable(err error) bool {
+	return errors.Is(err, mpi.ErrRevoked) || mpi.IsProcFailed(err)
+}
+
+// RunJob executes one MapReduce job on the application's current
+// communicator and returns its Result. Under ModelNone and
+// ModelCheckpointRestart a failure aborts the whole application (the rank
+// processes unwind and RunJob never returns on any rank); the Result,
+// marked Aborted, remains readable from the Handle. Under the detect/resume
+// models failures are masked in place and RunJob returns normally on the
+// survivors.
+func (a *App) RunJob(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if spec.NumRanks == 0 {
+		spec.NumRanks = a.comm.Size()
+	}
+	res := a.h.resultSlot(a.jobIdx, spec)
+	a.jobIdx++
+
+	// Iterative restart: a completed job (durable DONE marker) is skipped.
+	pfs := a.h.Clus.PFS
+	if spec.Resume && pfs.Exists(doneMarker(spec.JobID)) {
+		pfs.Charge(a.comm.Proc(), 1, 0)
+		res.End = maxDur(res.End, a.h.Clus.Sim.Now())
+		return res, nil
+	}
+
+	j := &jobCtx{clus: a.h.Clus, spec: spec, res: res, h: a.h, jobIdx: a.jobIdx - 1}
+	r := newRunner(j, a.comm)
+	res.Ranks[r.myWorld()] = r.m
+	defer r.shutdown()
+
+	switch spec.Model {
+	case ModelDetectResumeWC, ModelDetectResumeNWC:
+		a.comm.SetErrHandler(drErrHandler)
+	drLoop:
+		for {
+			err := r.run()
+			if err == nil {
+				break
+			}
+			if !recoverable(err) {
+				res.Aborted = true
+				return res, err
+			}
+			for {
+				rerr := r.recoverDR()
+				switch {
+				case rerr == nil:
+					continue drLoop
+				case errors.Is(rerr, errJobSuperseded):
+					// The rest of the application moved past this job's
+					// final barrier: it is globally complete.
+					a.comm = r.comm
+					break drLoop
+				case errors.Is(rerr, errRestartJob):
+					// This job had not really started when the failure hit;
+					// rebuild it from scratch on the shrunken communicator
+					// so every participant agrees on the membership.
+					a.comm = r.comm
+					r.shutdown()
+					j.spec = spec
+					r = newRunner(j, a.comm)
+					res.Ranks[r.myWorld()] = r.m
+					continue drLoop
+				case !recoverable(rerr):
+					res.Aborted = true
+					return res, rerr
+				}
+			}
+		}
+		// Persist the (possibly shrunken) communicator for later jobs.
+		a.comm = r.comm
+	default:
+		// MR-MPI mode and checkpoint/restart: exploit MPI-3 error-handler
+		// semantics (§2.4) — the first rank to observe the failure marks
+		// the job failed and aborts; the process manager propagates the
+		// termination to everyone.
+		mark := func() { res.End = maxDur(res.End, a.h.Clus.Sim.Now()) }
+		a.comm.SetErrHandler(func(c *mpi.Comm, err error) {
+			if !res.Aborted {
+				res.Aborted = true
+				mark()
+			}
+			c.Abort()
+		})
+		// If this rank itself is the one killed before the job completes
+		// (e.g. a single-rank job, where no survivor can observe the
+		// failure), the attempt is still a failed one.
+		finished := false
+		a.comm.Proc().OnKill(func() {
+			if !finished && !res.Aborted {
+				res.Aborted = true
+				mark()
+			}
+		})
+		defer func() { finished = true }()
+		if err := r.run(); err != nil {
+			res.Aborted = true
+			mark()
+			return res, err
+		}
+	}
+
+	r.finishOutputs()
+	res.End = maxDur(res.End, a.h.Clus.Sim.Now())
+	return res, nil
+}
+
+// Comm exposes the application's current communicator (examples use it for
+// small auxiliary exchanges between jobs).
+func (a *App) Comm() *mpi.Comm { return a.comm }
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

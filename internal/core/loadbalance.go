@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Load balancer (paper §3.4): an agent on every process observes the input
+// size and processing time of each completed task, fits the linear model
+//
+//	t_ij = a_j + b_j·D_i + ε_j
+//
+// by least squares, and at recovery time the redistributed workload of the
+// failed processes is divided so that every surviving process is predicted
+// to finish at the same time.
+
+// observation is one (input size, duration) sample.
+type observation struct {
+	bytes float64
+	secs  float64
+}
+
+// lbAgent accumulates observations and fits the per-process model.
+type lbAgent struct {
+	obs []observation
+}
+
+func (a *lbAgent) observe(bytes int, secs float64) {
+	a.obs = append(a.obs, observation{bytes: float64(bytes), secs: secs})
+}
+
+// fit returns (a, b) of t = a + b·D by ordinary least squares. With fewer
+// than two distinct samples it falls back to a pure rate estimate; with no
+// samples it returns a neutral model.
+func (a *lbAgent) fit() (intercept, slope float64) {
+	n := float64(len(a.obs))
+	if n == 0 {
+		return 0, 1e-9
+	}
+	var sx, sy, sxx, sxy float64
+	for _, o := range a.obs {
+		sx += o.bytes
+		sy += o.secs
+		sxx += o.bytes * o.bytes
+		sxy += o.bytes * o.secs
+	}
+	den := n*sxx - sx*sx
+	if den <= 1e-12 {
+		// All samples the same size: rate through the origin.
+		if sx > 0 {
+			return 0, sy / sx
+		}
+		return 0, 1e-9
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	if slope <= 0 {
+		slope = math.Max(1e-12, sy/math.Max(sx, 1))
+		intercept = 0
+	}
+	return intercept, slope
+}
+
+// lbModel is one survivor's published model and backlog, exchanged during
+// recovery.
+type lbModel struct {
+	Rank      int // world rank
+	Intercept float64
+	Slope     float64 // seconds per byte
+	Backlog   float64 // bytes of work it already has left
+}
+
+// balanceWork divides `units` (bytes of redistributed work, in indivisible
+// pieces) among survivors so predicted completion times equalize: find t*
+// with Σ_j max(0, (t* − a_j − b_j·backlog_j)/b_j) = total, then hand out
+// pieces by largest remaining capacity. Returns, per survivor index, the
+// piece ids assigned. Pieces are given as their sizes; the assignment
+// preserves piece order within a survivor.
+func balanceWork(models []lbModel, pieces []float64) [][]int {
+	out := make([][]int, len(models))
+	if len(models) == 0 || len(pieces) == 0 {
+		return out
+	}
+	total := 0.0
+	for _, p := range pieces {
+		total += p
+	}
+	// Current predicted finish f_j = a_j + b_j·backlog_j; adding x bytes
+	// moves it to f_j + b_j·x. Find the water level t*.
+	lo, hi := math.Inf(1), 0.0
+	for _, m := range models {
+		f := m.Intercept + m.Slope*m.Backlog
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	// Upper bound: dump everything on the fastest process.
+	minSlope := math.Inf(1)
+	for _, m := range models {
+		if m.Slope < minSlope {
+			minSlope = m.Slope
+		}
+	}
+	hi += minSlope*total + 1
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		cap := 0.0
+		for _, m := range models {
+			f := m.Intercept + m.Slope*m.Backlog
+			if mid > f {
+				cap += (mid - f) / m.Slope
+			}
+		}
+		if cap < total {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	level := hi
+	// Per-survivor byte capacity at the water level.
+	capacity := make([]float64, len(models))
+	for j, m := range models {
+		f := m.Intercept + m.Slope*m.Backlog
+		if level > f {
+			capacity[j] = (level - f) / m.Slope
+		}
+	}
+	// Assign pieces largest-first to the survivor with the most remaining
+	// capacity (deterministic tie-break by index).
+	order := make([]int, len(pieces))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return pieces[order[x]] > pieces[order[y]] })
+	remaining := append([]float64(nil), capacity...)
+	for _, pi := range order {
+		best := 0
+		for j := 1; j < len(models); j++ {
+			if remaining[j] > remaining[best] {
+				best = j
+			}
+		}
+		out[best] = append(out[best], pi)
+		remaining[best] -= pieces[pi]
+	}
+	for j := range out {
+		sort.Ints(out[j])
+	}
+	return out
+}
+
+// evenSplit assigns pieces round-robin (the non-load-balanced fallback).
+func evenSplit(nSurvivors int, nPieces int) [][]int {
+	out := make([][]int, nSurvivors)
+	for i := 0; i < nPieces; i++ {
+		out[i%nSurvivors] = append(out[i%nSurvivors], i)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversLinearModel(t *testing.T) {
+	a := lbAgent{}
+	// t = 2 + 0.5·D
+	for _, d := range []float64{100, 200, 400, 800} {
+		a.observe(int(d), 2+0.5*d)
+	}
+	ic, sl := a.fit()
+	if math.Abs(ic-2) > 1e-9 || math.Abs(sl-0.5) > 1e-9 {
+		t.Fatalf("fit = (%g, %g), want (2, 0.5)", ic, sl)
+	}
+}
+
+func TestFitDegenerateSameSize(t *testing.T) {
+	a := lbAgent{}
+	a.observe(100, 5)
+	a.observe(100, 5)
+	_, sl := a.fit()
+	if math.Abs(sl-0.05) > 1e-9 {
+		t.Fatalf("slope = %g, want rate 0.05", sl)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	a := lbAgent{}
+	ic, sl := a.fit()
+	if sl <= 0 || ic != 0 {
+		t.Fatalf("neutral model = (%g, %g)", ic, sl)
+	}
+}
+
+func TestBalanceWorkEqualProcsEqualSplit(t *testing.T) {
+	models := []lbModel{
+		{Rank: 0, Slope: 1e-6},
+		{Rank: 1, Slope: 1e-6},
+		{Rank: 2, Slope: 1e-6},
+		{Rank: 3, Slope: 1e-6},
+	}
+	pieces := []float64{100, 100, 100, 100, 100, 100, 100, 100}
+	out := balanceWork(models, pieces)
+	for j, assigned := range out {
+		if len(assigned) != 2 {
+			t.Fatalf("survivor %d got %d pieces, want 2", j, len(assigned))
+		}
+	}
+}
+
+func TestBalanceWorkFavorsFastProcess(t *testing.T) {
+	// Process 0 is 4x faster: it should get the lion's share.
+	models := []lbModel{
+		{Rank: 0, Slope: 1e-6},
+		{Rank: 1, Slope: 4e-6},
+	}
+	pieces := make([]float64, 10)
+	for i := range pieces {
+		pieces[i] = 100
+	}
+	out := balanceWork(models, pieces)
+	if len(out[0]) <= len(out[1]) {
+		t.Fatalf("fast process got %d pieces, slow got %d", len(out[0]), len(out[1]))
+	}
+}
+
+func TestBalanceWorkAccountsBacklog(t *testing.T) {
+	// Equal speeds, but process 0 already has a big backlog.
+	models := []lbModel{
+		{Rank: 0, Slope: 1e-6, Backlog: 1e6},
+		{Rank: 1, Slope: 1e-6, Backlog: 0},
+	}
+	pieces := []float64{100, 100, 100, 100}
+	out := balanceWork(models, pieces)
+	if len(out[1]) <= len(out[0]) {
+		t.Fatalf("idle process got %d pieces, backlogged got %d", len(out[1]), len(out[0]))
+	}
+}
+
+// Property: every piece is assigned exactly once, whatever the models.
+func TestPropBalanceWorkIsPartition(t *testing.T) {
+	f := func(slopes []uint16, nPieces uint8) bool {
+		if len(slopes) == 0 {
+			return true
+		}
+		if len(slopes) > 16 {
+			slopes = slopes[:16]
+		}
+		models := make([]lbModel, len(slopes))
+		for i, s := range slopes {
+			models[i] = lbModel{Rank: i, Slope: float64(s%1000+1) * 1e-7, Backlog: float64(s % 3000)}
+		}
+		pieces := make([]float64, int(nPieces)%64)
+		for i := range pieces {
+			pieces[i] = float64(i%7*50 + 10)
+		}
+		out := balanceWork(models, pieces)
+		seen := make(map[int]int)
+		for _, assigned := range out {
+			for _, pi := range assigned {
+				seen[pi]++
+			}
+		}
+		if len(seen) != len(pieces) {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenSplitRoundRobin(t *testing.T) {
+	out := evenSplit(3, 7)
+	if len(out[0]) != 3 || len(out[1]) != 2 || len(out[2]) != 2 {
+		t.Fatalf("split = %v", out)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import "time"
+
+// Phase identifies one stage of a job's lifetime for time decomposition
+// (used by the paper's Figures 7, 9, and 10).
+type Phase string
+
+const (
+	PhaseInit     Phase = "init"
+	PhaseMap      Phase = "map"
+	PhaseShuffle  Phase = "shuffle"
+	PhaseConvert  Phase = "merge" // the paper labels the conversion "merge"
+	PhaseReduce   Phase = "reduce"
+	PhaseRecovery Phase = "recovery"
+)
+
+// RecoveryBreakdown decomposes recovery time the way Figure 3 does.
+type RecoveryBreakdown struct {
+	Init      time.Duration // coordination: shrink/agree/table rebuild
+	LoadCkpt  time.Duration // reading checkpoint data
+	Skip      time.Duration // re-reading input and skipping committed records
+	Reprocess time.Duration // re-executing uncommitted work
+}
+
+// Total returns the summed recovery time.
+func (r RecoveryBreakdown) Total() time.Duration {
+	return r.Init + r.LoadCkpt + r.Skip + r.Reprocess
+}
+
+// RankMetrics accumulates one rank's accounting for a job attempt.
+type RankMetrics struct {
+	WorldRank int
+	Failed    bool // this rank was killed
+
+	CPUMain   time.Duration // main-thread compute
+	CPUCopier time.Duration // copier/agent-thread compute (same core)
+	IOWait    time.Duration // storage waits (main thread)
+	CopierIO  time.Duration // storage waits (copier thread)
+	NetWait   time.Duration // time inside communication calls
+
+	PhaseTime map[Phase]time.Duration
+	Recovery  RecoveryBreakdown
+
+	// Counters holds user-defined counters (TaskContext.AddCounter).
+	Counters map[string]int64
+
+	RecordsMapped   int64
+	RecordsSkipped  int64
+	RecordsRestored int64
+	GroupsReduced   int64
+	CkptFrames      int64
+	CkptBytes       int64
+	ShuffleBytes    int64
+	RecoveredFrames int64
+	RecoveredBytes  int64
+}
+
+func newRankMetrics(worldRank int) *RankMetrics {
+	return &RankMetrics{
+		WorldRank: worldRank,
+		PhaseTime: make(map[Phase]time.Duration),
+		Counters:  make(map[string]int64),
+	}
+}
+
+// Result reports the outcome of one job attempt.
+type Result struct {
+	Spec    Spec
+	Start   time.Duration // virtual submission time
+	End     time.Duration // virtual completion/abort time
+	Aborted bool          // true when the attempt died (needs restart)
+	// FailedRanks lists world ranks that were lost during the attempt.
+	FailedRanks []int
+	// Ranks holds per-rank metrics, indexed by launch (world) rank.
+	Ranks []*RankMetrics
+	// OutputPaths lists the PFS paths of the reduce output partitions.
+	OutputPaths []string
+}
+
+// Elapsed returns the attempt's virtual duration.
+func (r *Result) Elapsed() time.Duration { return r.End - r.Start }
+
+// PhaseTotal sums a phase's time across all ranks (the "aggregated time for
+// all processes" of Figure 10).
+func (r *Result) PhaseTotal(ph Phase) time.Duration {
+	var total time.Duration
+	for _, m := range r.Ranks {
+		if m != nil {
+			total += m.PhaseTime[ph]
+		}
+	}
+	return total
+}
+
+// MaxPhase returns the maximum single-rank time for a phase.
+func (r *Result) MaxPhase(ph Phase) time.Duration {
+	var max time.Duration
+	for _, m := range r.Ranks {
+		if m != nil && m.PhaseTime[ph] > max {
+			max = m.PhaseTime[ph]
+		}
+	}
+	return max
+}
+
+// TotalCPUMain / TotalCPUCopier / TotalIOWait aggregate across ranks.
+func (r *Result) TotalCPUMain() time.Duration {
+	var t time.Duration
+	for _, m := range r.Ranks {
+		if m != nil {
+			t += m.CPUMain
+		}
+	}
+	return t
+}
+
+// TotalCPUCopier sums copier CPU time across ranks.
+func (r *Result) TotalCPUCopier() time.Duration {
+	var t time.Duration
+	for _, m := range r.Ranks {
+		if m != nil {
+			t += m.CPUCopier
+		}
+	}
+	return t
+}
+
+// TotalIOWait sums main-thread I/O wait across ranks.
+func (r *Result) TotalIOWait() time.Duration {
+	var t time.Duration
+	for _, m := range r.Ranks {
+		if m != nil {
+			t += m.IOWait
+		}
+	}
+	return t
+}
+
+// Counter sums a user counter across ranks.
+func (r *Result) Counter(name string) int64 {
+	var t int64
+	for _, m := range r.Ranks {
+		if m != nil {
+			t += m.Counters[name]
+		}
+	}
+	return t
+}
+
+// RecoveryTotal aggregates recovery breakdowns across ranks.
+func (r *Result) RecoveryTotal() RecoveryBreakdown {
+	var out RecoveryBreakdown
+	for _, m := range r.Ranks {
+		if m == nil {
+			continue
+		}
+		out.Init += m.Recovery.Init
+		out.LoadCkpt += m.Recovery.LoadCkpt
+		out.Skip += m.Recovery.Skip
+		out.Reprocess += m.Recovery.Reprocess
+	}
+	return out
+}
+
+// ResultSummary is a JSON-friendly projection of a Result (Spec holds
+// factory functions and cannot be marshaled directly).
+type ResultSummary struct {
+	Job         string             `json:"job"`
+	Model       string             `json:"model"`
+	Ranks       int                `json:"ranks"`
+	Aborted     bool               `json:"aborted"`
+	ElapsedSec  float64            `json:"elapsed_sec"`
+	FailedRanks []int              `json:"failed_ranks,omitempty"`
+	PhaseMaxSec map[string]float64 `json:"phase_max_sec"`
+	PhaseAggSec map[string]float64 `json:"phase_agg_sec"`
+	Recovery    map[string]float64 `json:"recovery_sec"`
+	Counters    map[string]int64   `json:"counters,omitempty"`
+	CkptBytes   int64              `json:"ckpt_bytes"`
+	CkptFrames  int64              `json:"ckpt_frames"`
+}
+
+// Summary builds the JSON-friendly projection.
+func (r *Result) Summary() ResultSummary {
+	s := ResultSummary{
+		Job:         r.Spec.JobID,
+		Model:       r.Spec.Model.String(),
+		Ranks:       r.Spec.NumRanks,
+		Aborted:     r.Aborted,
+		ElapsedSec:  r.Elapsed().Seconds(),
+		FailedRanks: r.FailedRanks,
+		PhaseMaxSec: make(map[string]float64),
+		PhaseAggSec: make(map[string]float64),
+		Counters:    make(map[string]int64),
+	}
+	for _, ph := range []Phase{PhaseInit, PhaseMap, PhaseShuffle, PhaseConvert, PhaseReduce, PhaseRecovery} {
+		if d := r.MaxPhase(ph); d > 0 {
+			s.PhaseMaxSec[string(ph)] = d.Seconds()
+			s.PhaseAggSec[string(ph)] = r.PhaseTotal(ph).Seconds()
+		}
+	}
+	rb := r.RecoveryTotal()
+	s.Recovery = map[string]float64{
+		"init":      rb.Init.Seconds(),
+		"load_ckpt": rb.LoadCkpt.Seconds(),
+		"skip":      rb.Skip.Seconds(),
+		"reprocess": rb.Reprocess.Seconds(),
+	}
+	for _, m := range r.Ranks {
+		if m == nil {
+			continue
+		}
+		s.CkptBytes += m.CkptBytes
+		s.CkptFrames += m.CkptFrames
+		for k, v := range m.Counters {
+			s.Counters[k] += v
+		}
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Chunk is one fixed-size piece of input, the unit of map-task assignment.
+// The input generator stages one PFS file per chunk under the job's input
+// prefix; the distributed masters enumerate them deterministically, so no
+// coordination is needed to build identical task tables on every rank
+// (paper §3.3).
+type Chunk struct {
+	File  string // PFS path
+	Index int    // position in the sorted input listing
+	Size  int    // bytes
+}
+
+// Task is one map task (one chunk).
+type Task struct {
+	ID    int
+	Chunk Chunk
+}
+
+// splitmix64 hashes a task id for owner assignment ("a hashing-based task
+// assignment algorithm that calculates the rank of the process for each
+// task using its task ID", §3.3).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// assignTask returns the initial owner (world rank) of a task among nranks.
+func assignTask(taskID, nranks int) int {
+	return int(splitmix64(uint64(taskID)) % uint64(nranks))
+}
+
+// taskTable is the per-master view of job progress (§3.3: "each master
+// thread maintains two task status tables: one for local tasks and the
+// other for global tasks"). done is the merged global view; owner tracks
+// current assignment (world ranks), which recovery rewrites.
+type taskTable struct {
+	tasks []Task
+	owner []int
+	done  []bool
+}
+
+func newTaskTable(tasks []Task, nranks int) *taskTable {
+	t := &taskTable{tasks: tasks, owner: make([]int, len(tasks)), done: make([]bool, len(tasks))}
+	for i := range tasks {
+		t.owner[i] = assignTask(i, nranks)
+	}
+	return t
+}
+
+// mine returns the ids of tasks owned by worldRank that are not done.
+func (t *taskTable) mine(worldRank int) []int {
+	var out []int
+	for id, o := range t.owner {
+		if o == worldRank && !t.done[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ownedBy returns every task id currently owned by worldRank (done or not).
+func (t *taskTable) ownedBy(worldRank int) []int {
+	var out []int
+	for id, o := range t.owner {
+		if o == worldRank {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// pendingOwnedBy returns not-done task ids owned by any of the given ranks.
+func (t *taskTable) pendingOwnedBy(ranks map[int]bool) []int {
+	var out []int
+	for id, o := range t.owner {
+		if ranks[o] && !t.done[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// doneBitmap serializes the done flags for master status gossip.
+func (t *taskTable) doneBitmap() []byte {
+	out := make([]byte, (len(t.done)+7)/8)
+	for i, d := range t.done {
+		if d {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// mergeBitmap ORs a peer's done bitmap into the table (done flags are
+// monotone, so stale gossip is harmless).
+func (t *taskTable) mergeBitmap(bm []byte) {
+	for i := range t.done {
+		if i/8 < len(bm) && bm[i/8]&(1<<uint(i%8)) != 0 {
+			t.done[i] = true
+		}
+	}
+}
+
+// doneCount returns the number of completed tasks.
+func (t *taskTable) doneCount() int {
+	n := 0
+	for _, d := range t.done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// listChunks enumerates the input chunk files under prefix, in sorted
+// order, building the task list every master computes identically.
+func listChunks(fsList []string, sizes func(string) int) []Task {
+	paths := append([]string(nil), fsList...)
+	sort.Strings(paths)
+	tasks := make([]Task, len(paths))
+	for i, p := range paths {
+		tasks[i] = Task{ID: i, Chunk: Chunk{File: p, Index: i, Size: sizes(p)}}
+	}
+	return tasks
+}
+
+// LineRecordReader is the default FileRecordReader: each newline-terminated
+// line is one record with the line as the value and the record's ordinal
+// (within the chunk) as the key.
+type LineRecordReader struct {
+	data []byte
+	pos  int
+	rec  int
+	key  [16]byte
+}
+
+// NewLineReader returns a LineRecordReader factory for Spec.NewReader.
+func NewLineReader() FileRecordReader { return &LineRecordReader{} }
+
+// Open begins tokenizing one chunk.
+func (r *LineRecordReader) Open(chunk Chunk, data []byte) error {
+	r.data = data
+	r.pos = 0
+	r.rec = 0
+	return nil
+}
+
+// Next returns the next line.
+func (r *LineRecordReader) Next() (key, value []byte, ok bool, err error) {
+	if r.pos >= len(r.data) {
+		return nil, nil, false, nil
+	}
+	end := bytes.IndexByte(r.data[r.pos:], '\n')
+	var line []byte
+	if end < 0 {
+		line = r.data[r.pos:]
+		r.pos = len(r.data)
+	} else {
+		line = r.data[r.pos : r.pos+end]
+		r.pos += end + 1
+	}
+	k := fmt.Appendf(r.key[:0], "%d", r.rec)
+	r.rec++
+	return k, line, true, nil
+}
+
+// Close releases chunk state.
+func (r *LineRecordReader) Close() error {
+	r.data = nil
+	return nil
+}
+
+// kmvIterator implements KMVReader over a converted partition.
+type kmvIterator struct {
+	keys [][]byte
+	vals [][][]byte
+	pos  int
+}
+
+// Next implements KMVReader.
+func (it *kmvIterator) Next() (key []byte, values [][]byte, ok bool) {
+	if it.pos >= len(it.keys) {
+		return nil, nil, false
+	}
+	k, v := it.keys[it.pos], it.vals[it.pos]
+	it.pos++
+	return k, v, true
+}

@@ -1,0 +1,89 @@
+// Package failure injects process failures into a running MPI world, the
+// way the paper's evaluation does: a single process killed at a chosen
+// point (e.g. "one failed process at the reduce phase", §6.3), or
+// continuous failures ("randomly terminating one process every 5 seconds",
+// §6.4).
+package failure
+
+import (
+	"math/rand"
+	"time"
+
+	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/mpi"
+)
+
+// KillAt kills a world rank at an absolute virtual time.
+func KillAt(w *mpi.World, rank int, at time.Duration) {
+	d := at - w.Sim.Now()
+	if d < 0 {
+		d = 0
+	}
+	w.Sim.After(d, func() { w.Kill(rank) })
+}
+
+// KillOnPhase kills a world rank the first time it enters the given phase,
+// after an optional extra delay.
+func KillOnPhase(h *core.Handle, rank int, ph core.Phase, delay time.Duration) {
+	fired := false
+	h.OnPhase(func(worldRank int, p core.Phase) {
+		if fired || worldRank != rank || p != ph {
+			return
+		}
+		fired = true
+		h.Clus.Sim.After(delay, func() { h.World.Kill(rank) })
+	})
+}
+
+// MTTF injects failures with exponentially distributed inter-arrival times
+// whose mean is the given MTTF (the paper motivates FT-MRMPI with Blue
+// Waters' 4.2-hour system MTTF). Kills stop after maxKills or when one
+// rank remains.
+func MTTF(w *mpi.World, mttf time.Duration, maxKills int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	killed := 0
+	var arm func()
+	arm = func() {
+		d := time.Duration(rng.ExpFloat64() * float64(mttf))
+		w.Sim.After(d, func() {
+			if killed >= maxKills {
+				return
+			}
+			alive := w.AliveRanks()
+			if len(alive) <= 1 {
+				return
+			}
+			w.Kill(alive[rng.Intn(len(alive))])
+			killed++
+			if killed < maxKills {
+				arm()
+			}
+		})
+	}
+	arm()
+}
+
+// Continuous kills one random live rank every interval, starting after the
+// first interval, until maxKills processes have been killed (or only one
+// rank remains). The seed makes runs reproducible.
+func Continuous(w *mpi.World, interval time.Duration, maxKills int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	killed := 0
+	var tick func()
+	tick = func() {
+		if killed >= maxKills {
+			return
+		}
+		alive := w.AliveRanks()
+		if len(alive) <= 1 {
+			return
+		}
+		victim := alive[rng.Intn(len(alive))]
+		w.Kill(victim)
+		killed++
+		if killed < maxKills {
+			w.Sim.After(interval, tick)
+		}
+	}
+	w.Sim.After(interval, tick)
+}

@@ -1,0 +1,159 @@
+// Package kvbuf implements the key-value machinery shared by the baseline
+// MR-MPI library and FT-MRMPI: append-only KV buffers, grouped
+// key-multivalue (KMV) buffers, hash partitioning for the shuffle, and the
+// two KV→KMV conversion algorithms the paper compares — the original
+// four-pass algorithm of MR-MPI and FT-MRMPI's two-pass log-structured
+// algorithm (§5.2). Both conversions are real algorithms over real bytes;
+// they return I/O statistics (bytes and operations touched per pass) that
+// the runtime charges against the simulated disks, so Figure 16's
+// performance gap emerges from genuinely different data movement.
+package kvbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// KV is an append-only buffer of key-value pairs with the wire encoding
+// [klen u32][vlen u32][key][value].
+type KV struct {
+	buf []byte
+	n   int
+}
+
+// NewKV returns an empty buffer.
+func NewKV() *KV { return &KV{} }
+
+// Add appends one pair.
+func (b *KV) Add(k, v []byte) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(k)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(v)))
+	b.buf = append(b.buf, hdr[:]...)
+	b.buf = append(b.buf, k...)
+	b.buf = append(b.buf, v...)
+	b.n++
+}
+
+// Len returns the number of pairs.
+func (b *KV) Len() int { return b.n }
+
+// Size returns the encoded size in bytes.
+func (b *KV) Size() int { return len(b.buf) }
+
+// Bytes returns the encoded buffer (not a copy).
+func (b *KV) Bytes() []byte { return b.buf }
+
+// FromBytes wraps an encoded buffer produced by Bytes. It validates the
+// framing and counts the pairs.
+func FromBytes(data []byte) (*KV, error) {
+	b := &KV{buf: data}
+	err := b.ForEach(func(k, v []byte) {})
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	_ = b.ForEach(func(k, v []byte) { n++ })
+	b.n = n
+	return b, nil
+}
+
+// ForEach calls fn for every pair in insertion order. The slices alias the
+// internal buffer and must not be retained.
+func (b *KV) ForEach(fn func(k, v []byte)) error {
+	data := b.buf
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return fmt.Errorf("kvbuf: truncated pair header")
+		}
+		kl := int(binary.LittleEndian.Uint32(data[:4]))
+		vl := int(binary.LittleEndian.Uint32(data[4:8]))
+		data = data[8:]
+		if len(data) < kl+vl {
+			return fmt.Errorf("kvbuf: truncated pair body (%d < %d)", len(data), kl+vl)
+		}
+		fn(data[:kl:kl], data[kl:kl+vl:kl+vl])
+		data = data[kl+vl:]
+	}
+	return nil
+}
+
+// Append concatenates another buffer's pairs onto b.
+func (b *KV) Append(other *KV) {
+	b.buf = append(b.buf, other.buf...)
+	b.n += other.n
+}
+
+// Reset empties the buffer, retaining capacity.
+func (b *KV) Reset() {
+	b.buf = b.buf[:0]
+	b.n = 0
+}
+
+// PartitionKey returns the shuffle partition for a key: FNV-1a hash modulo
+// nparts. Every rank uses the same function, which is what lets the
+// distributed masters assign reduce partitions without coordination.
+func PartitionKey(key []byte, nparts int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(nparts))
+}
+
+// Partition splits the buffer into nparts buffers by key hash.
+func (b *KV) Partition(nparts int) []*KV {
+	out := make([]*KV, nparts)
+	for i := range out {
+		out[i] = NewKV()
+	}
+	_ = b.ForEach(func(k, v []byte) {
+		out[PartitionKey(k, nparts)].Add(k, v)
+	})
+	return out
+}
+
+// KMV is a grouped key→multivalue buffer, keys in lexicographic order.
+type KMV struct {
+	Keys [][]byte
+	Vals [][][]byte
+}
+
+// Len returns the number of distinct keys.
+func (m *KMV) Len() int { return len(m.Keys) }
+
+// Bytes returns the total payload size (keys + values).
+func (m *KMV) Bytes() int {
+	total := 0
+	for i, k := range m.Keys {
+		total += len(k)
+		for _, v := range m.Vals[i] {
+			total += len(v)
+		}
+	}
+	return total
+}
+
+// ForEach visits each key group in order.
+func (m *KMV) ForEach(fn func(key []byte, vals [][]byte)) {
+	for i, k := range m.Keys {
+		fn(k, m.Vals[i])
+	}
+}
+
+// groupMap builds key→values preserving nothing about order; both
+// conversion algorithms normalize to sorted key order on output.
+func sortKeys(groups map[string][][]byte) ([][]byte, [][][]byte) {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	outK := make([][]byte, len(keys))
+	outV := make([][][]byte, len(keys))
+	for i, k := range keys {
+		outK[i] = []byte(k)
+		outV[i] = groups[k]
+	}
+	return outK, outV
+}

@@ -1,0 +1,201 @@
+package kvbuf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVAddForEach(t *testing.T) {
+	b := NewKV()
+	b.Add([]byte("a"), []byte("1"))
+	b.Add([]byte("bb"), []byte(""))
+	b.Add([]byte(""), []byte("33"))
+	var got []string
+	if err := b.ForEach(func(k, v []byte) { got = append(got, string(k)+"="+string(v)) }); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a=1", "bb=", "=33"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestKVRoundTripBytes(t *testing.T) {
+	b := NewKV()
+	for i := 0; i < 100; i++ {
+		b.Add([]byte(fmt.Sprintf("key%d", i%7)), []byte(fmt.Sprintf("val%d", i)))
+	}
+	b2, err := FromBytes(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != b.Len() || b2.Size() != b.Size() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", b2.Len(), b2.Size(), b.Len(), b.Size())
+	}
+}
+
+func TestFromBytesRejectsGarbage(t *testing.T) {
+	if _, err := FromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if _, err := FromBytes([]byte{255, 0, 0, 0, 255, 0, 0, 0, 'x'}); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+}
+
+func TestPartitionPreservesAllPairs(t *testing.T) {
+	b := NewKV()
+	for i := 0; i < 500; i++ {
+		b.Add([]byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	parts := b.Partition(7)
+	total := 0
+	for pi, p := range parts {
+		total += p.Len()
+		_ = p.ForEach(func(k, v []byte) {
+			if PartitionKey(k, 7) != pi {
+				t.Errorf("key %q in wrong partition %d", k, pi)
+			}
+		})
+	}
+	if total != 500 {
+		t.Fatalf("partitions hold %d pairs, want 500", total)
+	}
+}
+
+// collect builds a canonical map from a KMV for comparison.
+func collect(m *KMV) map[string][]string {
+	out := make(map[string][]string)
+	m.ForEach(func(k []byte, vals [][]byte) {
+		var vs []string
+		for _, v := range vals {
+			vs = append(vs, string(v))
+		}
+		// Conversion algorithms may order values differently; normalize.
+		sortStrings(vs)
+		out[string(k)] = vs
+	})
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func randomKV(rng *rand.Rand, n, keySpace int) *KV {
+	b := NewKV()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(keySpace))
+		v := make([]byte, rng.Intn(40))
+		rng.Read(v)
+		b.Add([]byte(k), v)
+	}
+	return b
+}
+
+func TestConversionsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kv := randomKV(rng, 2000, 50)
+	m4, s4 := ConvertFourPass(kv)
+	m2, s2 := ConvertTwoPass(kv)
+	if !reflect.DeepEqual(collect(m4), collect(m2)) {
+		t.Fatal("four-pass and two-pass conversions disagree")
+	}
+	if s4.Passes != 4 || s2.Passes != 2 {
+		t.Fatalf("passes = %d / %d, want 4 / 2", s4.Passes, s2.Passes)
+	}
+	if s2.Total() >= s4.Total() {
+		t.Fatalf("two-pass moved %d bytes, four-pass %d — expected strictly less", s2.Total(), s4.Total())
+	}
+	// Paper §6.6: the two-pass conversion cuts conversion time by >50%; the
+	// bytes-moved ratio must support that.
+	if ratio := float64(s2.Total()) / float64(s4.Total()); ratio > 0.6 {
+		t.Fatalf("two-pass/four-pass traffic ratio %.2f, want <= 0.6", ratio)
+	}
+}
+
+func TestConversionKeysSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	kv := randomKV(rng, 300, 40)
+	for name, conv := range map[string]func(*KV) (*KMV, ConvertStats){
+		"four": ConvertFourPass, "two": ConvertTwoPass,
+	} {
+		m, _ := conv(kv)
+		for i := 1; i < len(m.Keys); i++ {
+			if string(m.Keys[i-1]) >= string(m.Keys[i]) {
+				t.Fatalf("%s-pass: keys not strictly sorted at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestConversionEmptyInput(t *testing.T) {
+	m2, _ := ConvertTwoPass(NewKV())
+	m4, _ := ConvertFourPass(NewKV())
+	if m2.Len() != 0 || m4.Len() != 0 {
+		t.Fatal("empty input produced groups")
+	}
+}
+
+// Property: both conversions preserve the multiset of pairs exactly.
+func TestPropConversionsPreservePairs(t *testing.T) {
+	f := func(seed int64, n uint16, ks uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kv := randomKV(rng, int(n%800), int(ks%30)+1)
+		want := make(map[string][]string)
+		_ = kv.ForEach(func(k, v []byte) {
+			want[string(k)] = append(want[string(k)], string(v))
+		})
+		for k := range want {
+			sortStrings(want[k])
+		}
+		m2, _ := ConvertTwoPass(kv)
+		m4, _ := ConvertFourPass(kv)
+		if kv.Len() == 0 {
+			return m2.Len() == 0 && m4.Len() == 0
+		}
+		return reflect.DeepEqual(collect(m2), want) && reflect.DeepEqual(collect(m4), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KMV encoding round-trips.
+func TestPropKMVEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kv := randomKV(rng, int(n%500), 20)
+		m, _ := ConvertTwoPass(kv)
+		dec, err := DecodeKMV(EncodeKMV(m))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(collect(m), collect(dec))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeKMVRejectsTruncation(t *testing.T) {
+	kv := NewKV()
+	kv.Add([]byte("k"), []byte("v"))
+	m, _ := ConvertTwoPass(kv)
+	enc := EncodeKMV(m)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeKMV(enc[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestReduceInt64(t *testing.T) {
+	clus := testCluster(4, 2)
+	n := 7
+	var at2 int64
+	Launch(clus, n, func(c *Comm) {
+		v, err := c.ReduceInt64(2, int64(c.Rank()+1), func(a, b int64) int64 { return a + b })
+		if err != nil {
+			t.Errorf("reduce: %v", err)
+			return
+		}
+		if c.Rank() == 2 {
+			at2 = v
+		} else if v != 0 {
+			t.Errorf("non-root rank %d got %d", c.Rank(), v)
+		}
+	})
+	clus.Sim.Run()
+	if at2 != 28 {
+		t.Fatalf("reduce = %d, want 28", at2)
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	clus := testCluster(4, 2)
+	n := 6
+	root := 3
+	got := make([]string, n)
+	Launch(clus, n, func(c *Comm) {
+		var data [][]byte
+		if c.Rank() == root {
+			for i := 0; i < n; i++ {
+				data = append(data, []byte(fmt.Sprintf("piece-%d", i)))
+			}
+		}
+		piece, err := c.Scatter(root, data)
+		if err != nil {
+			t.Errorf("scatter: %v", err)
+			return
+		}
+		got[c.Rank()] = string(piece)
+	})
+	clus.Sim.Run()
+	for i, p := range got {
+		if p != fmt.Sprintf("piece-%d", i) {
+			t.Fatalf("rank %d got %q", i, p)
+		}
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	clus := testCluster(4, 2)
+	n := 5
+	got := make([]int64, n)
+	Launch(clus, n, func(c *Comm) {
+		v, err := c.ScanInt64(int64(c.Rank()+1), func(a, b int64) int64 { return a + b })
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		got[c.Rank()] = v
+	})
+	clus.Sim.Run()
+	want := []int64{1, 3, 6, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSendrecvExchanges(t *testing.T) {
+	clus := testCluster(2, 1)
+	var got [2]string
+	Launch(clus, 2, func(c *Comm) {
+		other := 1 - c.Rank()
+		m, err := c.Sendrecv(other, 9, []byte(fmt.Sprintf("from-%d", c.Rank())), other, 9)
+		if err != nil {
+			t.Errorf("sendrecv: %v", err)
+			return
+		}
+		got[c.Rank()] = string(m.Data)
+	})
+	clus.Sim.Run()
+	if got[0] != "from-1" || got[1] != "from-0" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	clus := testCluster(2, 1)
+	Launch(clus, 2, func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Proc().Sleep(time.Second)
+			c.Send(0, 4, []byte("hello"))
+			return
+		}
+		src, tag, size, err := c.Probe(AnySource, AnyTag)
+		if err != nil || src != 1 || tag != 4 || size != 5 {
+			t.Errorf("probe = %d %d %d %v", src, tag, size, err)
+			return
+		}
+		m, err := c.Recv(src, tag)
+		if err != nil || string(m.Data) != "hello" {
+			t.Errorf("recv after probe = %v %v", m, err)
+		}
+	})
+	clus.Sim.Run()
+}
+
+func TestProbeFailedSourceErrors(t *testing.T) {
+	clus := testCluster(2, 1)
+	var perr error
+	w := Launch(clus, 2, func(c *Comm) {
+		c.SetErrHandler(func(*Comm, error) {})
+		if c.Rank() == 0 {
+			_, _, _, perr = c.Probe(1, 3)
+		} else {
+			c.Proc().Sleep(time.Hour)
+		}
+	})
+	clus.Sim.After(time.Second, func() { w.Kill(1) })
+	clus.Sim.Run()
+	if !IsProcFailed(perr) {
+		t.Fatalf("probe error = %v", perr)
+	}
+}
+
+func TestSplitByParity(t *testing.T) {
+	clus := testCluster(4, 2)
+	n := 7
+	sizes := make([]int, n)
+	ranks := make([]int, n)
+	Launch(clus, n, func(c *Comm) {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		sizes[c.Rank()] = sub.Size()
+		ranks[c.Rank()] = sub.Rank()
+		// The sub-communicator must be functional.
+		sum, err := sub.AllreduceInt64(1, func(a, b int64) int64 { return a + b })
+		if err != nil || sum != int64(sub.Size()) {
+			t.Errorf("allreduce on split comm: %d %v", sum, err)
+		}
+	})
+	clus.Sim.Run()
+	for r := 0; r < n; r++ {
+		want := 4 // evens: 0,2,4,6
+		if r%2 == 1 {
+			want = 3
+		}
+		if sizes[r] != want {
+			t.Fatalf("rank %d split size = %d, want %d", r, sizes[r], want)
+		}
+		if ranks[r] != r/2 {
+			t.Fatalf("rank %d sub-rank = %d, want %d", r, ranks[r], r/2)
+		}
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	clus := testCluster(2, 1)
+	Launch(clus, 2, func(c *Comm) {
+		color := 0
+		if c.Rank() == 1 {
+			color = -1
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if c.Rank() == 1 && sub != nil {
+			t.Error("undefined color returned a communicator")
+		}
+		if c.Rank() == 0 && (sub == nil || sub.Size() != 1) {
+			t.Error("singleton split wrong")
+		}
+	})
+	clus.Sim.Run()
+}

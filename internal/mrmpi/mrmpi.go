@@ -1,0 +1,168 @@
+// Package mrmpi is a faithful re-implementation of the baseline
+// MapReduce-MPI library of Plimpton & Devine ("MapReduce in MPI for
+// large-scale graph algorithms", Parallel Computing 2011) — the library the
+// paper's FT-MRMPI is built from and compared against.
+//
+// It exposes the classic MR-MPI object API: a MapReduce object holding a KV
+// buffer that the application transforms in steps (Map → Aggregate →
+// Convert → Reduce). There is no fault tolerance: a process failure
+// surfaces as an error in a communication call and, with the default
+// MPI_ERRORS_ARE_FATAL handler, aborts the whole job; everything must be
+// re-run from scratch. The KV→KMV conversion is the original four-pass
+// algorithm (FT-MRMPI's two-pass rewrite is the §5.2 refinement).
+package mrmpi
+
+import (
+	"fmt"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/kvbuf"
+	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/vtime"
+)
+
+// Ctx gives user callbacks access to the runtime for cost charging.
+type Ctx struct {
+	mr *MapReduce
+}
+
+// Compute charges sec seconds of CPU on the calling rank's core.
+func (c *Ctx) Compute(sec float64) {
+	c.mr.comm.Self().Compute(c.mr.comm.Proc(), sec)
+}
+
+// Rank returns the communicator rank.
+func (c *Ctx) Rank() int { return c.mr.comm.Rank() }
+
+// MapReduce is the MR-MPI object: a distributed KV/KMV buffer plus the
+// operations that transform it.
+type MapReduce struct {
+	clus *cluster.Cluster
+	comm *mpi.Comm
+	kv   *kvbuf.KV
+	kmv  *kvbuf.KMV
+}
+
+// New creates an empty MapReduce object on the given communicator.
+func New(clus *cluster.Cluster, comm *mpi.Comm) *MapReduce {
+	return &MapReduce{clus: clus, comm: comm, kv: kvbuf.NewKV()}
+}
+
+// KV returns the current key-value buffer (for inspection and tests).
+func (mr *MapReduce) KV() *kvbuf.KV { return mr.kv }
+
+// KMV returns the converted key-multivalue buffer (nil before Convert).
+func (mr *MapReduce) KMV() *kvbuf.KMV { return mr.kmv }
+
+// Comm returns the communicator the object operates on.
+func (mr *MapReduce) Comm() *mpi.Comm { return mr.comm }
+
+// MapFiles reads every file under the PFS prefix whose index hashes to this
+// rank and invokes mapFn on its contents; pairs emitted via emit replace the
+// object's KV buffer content for this rank. It returns the number of files
+// this rank mapped. Charges real file I/O.
+func (mr *MapReduce) MapFiles(prefix string, mapFn func(ctx *Ctx, path string, data []byte, emit func(k, v []byte))) (int, error) {
+	paths := mr.clus.PFS.List(prefix)
+	ctx := &Ctx{mr: mr}
+	n := 0
+	p := mr.comm.Proc()
+	for i, path := range paths {
+		if i%mr.comm.Size() != mr.comm.Rank() {
+			continue
+		}
+		data, _, err := mr.clus.PFS.ReadFile(p, path)
+		if err != nil {
+			return n, err
+		}
+		mapFn(ctx, path, data, func(k, v []byte) { mr.kv.Add(k, v) })
+		n++
+	}
+	return n, nil
+}
+
+// Aggregate shuffles the KV buffer so that all pairs with the same key land
+// on the same rank (hash partitioning + MPI_Alltoallv, the collective at
+// the heart of the paper's §2.2 failure discussion).
+func (mr *MapReduce) Aggregate() error {
+	nr := mr.comm.Size()
+	parts := mr.kv.Partition(nr)
+	bufs := make([][]byte, nr)
+	for i, part := range parts {
+		bufs[i] = part.Bytes()
+	}
+	recv, err := mr.comm.Alltoallv(bufs)
+	if err != nil {
+		return err
+	}
+	merged := kvbuf.NewKV()
+	for _, b := range recv {
+		kv, err := kvbuf.FromBytes(b)
+		if err != nil {
+			return fmt.Errorf("mrmpi: corrupt shuffle buffer: %w", err)
+		}
+		merged.Append(kv)
+	}
+	mr.kv = merged
+	return nil
+}
+
+// Convert groups the local KV buffer into a KMV buffer using the original
+// four-pass algorithm, charging its data movement to the local scratch disk.
+func (mr *MapReduce) Convert() error {
+	kmv, st := kvbuf.ConvertFourPass(mr.kv)
+	mr.chargeConvert(st)
+	mr.kmv = kmv
+	return nil
+}
+
+// chargeConvert bills conversion I/O against the rank's scratch disk.
+func (mr *MapReduce) chargeConvert(st kvbuf.ConvertStats) {
+	scratch := mr.clus.LocalOf(mr.comm.Self().WorldRank())
+	if scratch == nil {
+		scratch = mr.clus.PFS
+	}
+	scratch.Charge(mr.comm.Proc(), st.ReadOps+st.WriteOps, st.Total())
+}
+
+// Reduce invokes reduceFn once per key group, in sorted key order. Pairs
+// emitted via emit become the new KV buffer.
+func (mr *MapReduce) Reduce(reduceFn func(ctx *Ctx, key []byte, values [][]byte, emit func(k, v []byte))) error {
+	if mr.kmv == nil {
+		return fmt.Errorf("mrmpi: Reduce before Convert")
+	}
+	out := kvbuf.NewKV()
+	ctx := &Ctx{mr: mr}
+	mr.kmv.ForEach(func(key []byte, vals [][]byte) {
+		reduceFn(ctx, key, vals, func(k, v []byte) { out.Add(k, v) })
+	})
+	mr.kv = out
+	mr.kmv = nil
+	return nil
+}
+
+// WriteOutput writes this rank's KV buffer as text ("key\tvalue\n") to a
+// per-rank PFS file under prefix and returns its path.
+func (mr *MapReduce) WriteOutput(prefix string) (string, error) {
+	path := fmt.Sprintf("%s/part-%05d", prefix, mr.comm.Rank())
+	var buf []byte
+	err := mr.kv.ForEach(func(k, v []byte) {
+		buf = append(buf, k...)
+		buf = append(buf, '\t')
+		buf = append(buf, v...)
+		buf = append(buf, '\n')
+	})
+	if err != nil {
+		return "", err
+	}
+	mr.clus.PFS.WriteFile(mr.comm.Proc(), path, buf)
+	return path, nil
+}
+
+// GatherCounts sums an int64 across ranks (convenience for iterative
+// drivers' convergence checks).
+func (mr *MapReduce) GatherCounts(v int64) (int64, error) {
+	return mr.comm.AllreduceInt64(v, func(a, b int64) int64 { return a + b })
+}
+
+// Proc returns the rank's simulated process (for sleeping in drivers).
+func (mr *MapReduce) Proc() *vtime.Proc { return mr.comm.Proc() }

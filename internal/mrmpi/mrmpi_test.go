@@ -1,0 +1,174 @@
+package mrmpi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/mpi"
+)
+
+func testCluster() *cluster.Cluster {
+	cfg := cluster.Default()
+	cfg.Nodes = 4
+	cfg.PPN = 2
+	return cluster.New(cfg)
+}
+
+func TestWordcountPipeline(t *testing.T) {
+	clus := testCluster()
+	expect := map[string]int{}
+	for i := 0; i < 12; i++ {
+		text := fmt.Sprintf("alpha beta alpha\ngamma w%d beta\n", i%3)
+		for _, w := range strings.Fields(text) {
+			expect[w]++
+		}
+		clus.FS.Write(fmt.Sprintf("pfs:in/mr/chunk-%03d", i), []byte(text))
+	}
+	got := map[string]int{}
+	mpi.Launch(clus, 4, func(c *mpi.Comm) {
+		mr := New(clus, c)
+		if _, err := mr.MapFiles("in/mr", func(ctx *Ctx, path string, data []byte, emit func(k, v []byte)) {
+			for _, w := range strings.Fields(string(data)) {
+				emit([]byte(w), []byte("1"))
+			}
+			ctx.Compute(1e-5)
+		}); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		if err := mr.Aggregate(); err != nil {
+			t.Errorf("aggregate: %v", err)
+			return
+		}
+		if err := mr.Convert(); err != nil {
+			t.Errorf("convert: %v", err)
+			return
+		}
+		if err := mr.Reduce(func(ctx *Ctx, key []byte, vals [][]byte, emit func(k, v []byte)) {
+			emit(key, []byte(strconv.Itoa(len(vals))))
+		}); err != nil {
+			t.Errorf("reduce: %v", err)
+			return
+		}
+		if _, err := mr.WriteOutput("out/mr"); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	clus.Sim.Run()
+	for _, path := range clus.PFS.List("out/mr") {
+		data, _ := clus.PFS.Peek(path)
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			kv := strings.SplitN(line, "\t", 2)
+			n, _ := strconv.Atoi(kv[1])
+			got[kv[0]] += n
+		}
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("got %d words, want %d", len(got), len(expect))
+	}
+	for w, n := range expect {
+		if got[w] != n {
+			t.Fatalf("count[%s] = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+func TestAggregateColocatesKeys(t *testing.T) {
+	clus := testCluster()
+	seen := make([]map[string]bool, 4)
+	mpi.Launch(clus, 4, func(c *mpi.Comm) {
+		mr := New(clus, c)
+		for i := 0; i < 50; i++ {
+			mr.KV().Add([]byte(fmt.Sprintf("key-%d", i)), []byte{byte(c.Rank())})
+		}
+		if err := mr.Aggregate(); err != nil {
+			t.Errorf("aggregate: %v", err)
+			return
+		}
+		m := make(map[string]bool)
+		_ = mr.KV().ForEach(func(k, v []byte) { m[string(k)] = true })
+		seen[c.Rank()] = m
+	})
+	clus.Sim.Run()
+	// Each key must appear on exactly one rank, with all 4 copies.
+	owners := map[string]int{}
+	for r, m := range seen {
+		for k := range m {
+			if prev, dup := owners[k]; dup {
+				t.Fatalf("key %s on both rank %d and %d", k, prev, r)
+			}
+			owners[k] = r
+		}
+	}
+	if len(owners) != 50 {
+		t.Fatalf("%d keys seen, want 50", len(owners))
+	}
+}
+
+func TestFailureAbortsWholeJob(t *testing.T) {
+	// The baseline has no fault tolerance: one failure mid-pipeline aborts
+	// every rank (paper §2.2).
+	clus := testCluster()
+	completed := 0
+	var w *mpi.World
+	w = mpi.Launch(clus, 6, func(c *mpi.Comm) {
+		mr := New(clus, c)
+		for i := 0; i < 100; i++ {
+			mr.KV().Add([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+			c.Proc().Sleep(10 * time.Millisecond)
+			if err := mr.Aggregate(); err != nil {
+				return
+			}
+		}
+		completed++
+	})
+	clus.Sim.After(35*time.Millisecond, func() { w.Kill(2) })
+	clus.Sim.Run()
+	if !w.Aborted() {
+		t.Fatal("world not aborted after failure")
+	}
+	if completed != 0 {
+		t.Fatalf("%d ranks completed despite failure", completed)
+	}
+	if st := clus.Sim.Stranded(); len(st) != 0 {
+		t.Fatalf("stranded: %v", st)
+	}
+}
+
+func TestGatherCounts(t *testing.T) {
+	clus := testCluster()
+	var at0 int64
+	mpi.Launch(clus, 4, func(c *mpi.Comm) {
+		mr := New(clus, c)
+		sum, err := mr.GatherCounts(int64(c.Rank() + 1))
+		if err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if c.Rank() == 0 {
+			at0 = sum
+		}
+	})
+	clus.Sim.Run()
+	if at0 != 10 {
+		t.Fatalf("sum = %d, want 10", at0)
+	}
+}
+
+func TestReduceBeforeConvertErrors(t *testing.T) {
+	clus := testCluster()
+	mpi.Launch(clus, 1, func(c *mpi.Comm) {
+		mr := New(clus, c)
+		if err := mr.Reduce(func(ctx *Ctx, key []byte, vals [][]byte, emit func(k, v []byte)) {}); err == nil {
+			t.Error("Reduce before Convert succeeded")
+		}
+	})
+	clus.Sim.Run()
+}

@@ -1,0 +1,118 @@
+// Package storage provides the simulated storage subsystem: an in-memory
+// file namespace shared by all storage tiers, and cost-charging tiers that
+// model a GPFS-like shared parallel file system and node-local disks.
+//
+// Files hold real bytes (inputs, intermediate data, checkpoints, outputs all
+// round-trip through here), while read/write time is charged to the owning
+// tier's bandwidth resource plus a per-operation latency — which is what
+// makes many small I/O operations expensive, exactly the effect the paper's
+// checkpoint-location experiments (§4.1.3) depend on.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is an in-memory file namespace. It is safe for use from simulated
+// processes (which never truly run concurrently) and from test goroutines.
+type FS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFS returns an empty namespace.
+func NewFS() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// Write creates or replaces the file at path.
+func (fs *FS) Write(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append([]byte(nil), data...)
+}
+
+// Append appends data to the file at path, creating it if needed.
+func (fs *FS) Append(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append(fs.files[path], data...)
+}
+
+// Read returns a copy of the file's contents.
+func (fs *FS) Read(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no such file", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Exists reports whether the file exists.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the file size, or 0 if it does not exist.
+func (fs *FS) Size(path string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.files[path])
+}
+
+// Remove deletes the file if it exists.
+func (fs *FS) Remove(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path)
+}
+
+// RemovePrefix deletes every file whose path starts with prefix and returns
+// the number removed.
+func (fs *FS) RemovePrefix(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			delete(fs.files, p)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the sorted paths of all files with the given prefix.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the sum of all file sizes under prefix.
+func (fs *FS) TotalBytes(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	total := 0
+	for p, d := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			total += len(d)
+		}
+	}
+	return total
+}

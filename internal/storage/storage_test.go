@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ftmrmpi/internal/vtime"
+)
+
+func TestFSBasics(t *testing.T) {
+	fs := NewFS()
+	fs.Write("a/b", []byte("hello"))
+	fs.Append("a/b", []byte(" world"))
+	data, err := fs.Read("a/b")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if fs.Size("a/b") != 11 || !fs.Exists("a/b") {
+		t.Fatal("size/exists wrong")
+	}
+	if _, err := fs.Read("missing"); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	fs.Write("a/c", []byte("x"))
+	fs.Write("b/d", []byte("y"))
+	if got := fs.List("a/"); len(got) != 2 || got[0] != "a/b" || got[1] != "a/c" {
+		t.Fatalf("list = %v", got)
+	}
+	if fs.TotalBytes("a/") != 12 {
+		t.Fatalf("total = %d", fs.TotalBytes("a/"))
+	}
+	if n := fs.RemovePrefix("a/"); n != 2 {
+		t.Fatalf("removed %d", n)
+	}
+	if fs.Exists("a/b") {
+		t.Fatal("file survived RemovePrefix")
+	}
+}
+
+func TestFSReadReturnsCopy(t *testing.T) {
+	fs := NewFS()
+	fs.Write("f", []byte("abc"))
+	data, _ := fs.Read("f")
+	data[0] = 'z'
+	again, _ := fs.Read("f")
+	if string(again) != "abc" {
+		t.Fatal("Read aliases internal buffer")
+	}
+}
+
+func TestTierChargesLatencyAndBandwidth(t *testing.T) {
+	sim := vtime.NewSim()
+	bw := vtime.NewBandwidth(sim, "bw", 1000) // 1000 B/s
+	tier := NewTier("t", NewFS(), bw, 10*time.Millisecond, "x:")
+	var wrote time.Duration
+	sim.Spawn("w", func(p *vtime.Proc) {
+		wrote = tier.WriteFile(p, "file", make([]byte, 500))
+	})
+	sim.Run()
+	want := 10*time.Millisecond + 500*time.Millisecond
+	if wrote < want-time.Millisecond || wrote > want+time.Millisecond {
+		t.Fatalf("wrote charge = %v, want ~%v", wrote, want)
+	}
+	if !tier.Exists("file") || tier.Size("file") != 500 {
+		t.Fatal("file not stored")
+	}
+}
+
+func TestTierIOPSPoolQueues(t *testing.T) {
+	// Two processes issuing 100 ops each on a 100-ops/s pool: ~2s total.
+	sim := vtime.NewSim()
+	bw := vtime.NewBandwidth(sim, "bw", 1e12)
+	tier := NewTier("t", NewFS(), bw, time.Microsecond, "x:")
+	tier.IOPS = vtime.NewBandwidth(sim, "iops", 100)
+	var done [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("p", func(p *vtime.Proc) {
+			tier.Charge(p, 100, 0)
+			done[i] = p.Now()
+		})
+	}
+	sim.Run()
+	for i, d := range done {
+		if d < 1900*time.Millisecond || d > 2100*time.Millisecond {
+			t.Fatalf("proc %d done at %v, want ~2s", i, d)
+		}
+	}
+}
+
+func TestTierPrefixIsolation(t *testing.T) {
+	fs := NewFS()
+	sim := vtime.NewSim()
+	bw := vtime.NewBandwidth(sim, "bw", 1e9)
+	a := NewTier("a", fs, bw, 0, "a:")
+	b := NewTier("b", fs, bw, 0, "b:")
+	sim.Spawn("p", func(p *vtime.Proc) {
+		a.WriteFile(p, "f", []byte("A"))
+		b.WriteFile(p, "f", []byte("B"))
+	})
+	sim.Run()
+	da, _ := a.Peek("f")
+	db, _ := b.Peek("f")
+	if string(da) != "A" || string(db) != "B" {
+		t.Fatalf("tiers not isolated: %q %q", da, db)
+	}
+	if got := a.List(""); len(got) != 1 || got[0] != "f" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestTierCopy(t *testing.T) {
+	fs := NewFS()
+	sim := vtime.NewSim()
+	src := NewTier("s", fs, vtime.NewBandwidth(sim, "b1", 1e9), 0, "s:")
+	dst := NewTier("d", fs, vtime.NewBandwidth(sim, "b2", 1e9), 0, "d:")
+	sim.Spawn("p", func(p *vtime.Proc) {
+		src.WriteFile(p, "f", []byte("payload"))
+		if _, err := src.Copy(p, "f", dst, "g"); err != nil {
+			t.Errorf("copy: %v", err)
+		}
+	})
+	sim.Run()
+	data, err := dst.Peek("g")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("copied = %q, %v", data, err)
+	}
+}
+
+// Property: append sequences preserve content exactly.
+func TestPropAppendPreservesContent(t *testing.T) {
+	f := func(parts [][]byte) bool {
+		fs := NewFS()
+		var want []byte
+		for _, p := range parts {
+			fs.Append("f", p)
+			want = append(want, p...)
+		}
+		if len(parts) == 0 {
+			return true
+		}
+		got, err := fs.Read("f")
+		return err == nil && string(got) == string(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteOverwriteShrinks(t *testing.T) {
+	fs := NewFS()
+	fs.Write("f", []byte("0123456789"))
+	fs.Write("f", []byte("01234")) // truncating rewrite (output truncation path)
+	data, _ := fs.Read("f")
+	if string(data) != "01234" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestChargeZeroOps(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := NewTier("t", NewFS(), vtime.NewBandwidth(sim, "b", 1e9), time.Second, "x:")
+	var d time.Duration
+	sim.Spawn("p", func(p *vtime.Proc) {
+		d = tier.Charge(p, 0, 0)
+	})
+	sim.Run()
+	if d != 0 {
+		t.Fatalf("zero charge took %v", d)
+	}
+}

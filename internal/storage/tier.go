@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"time"
+
+	"ftmrmpi/internal/vtime"
+)
+
+// Tier couples a file namespace with a cost model. Reads and writes charge
+// a per-operation latency (serialized: n ops cost n×latency to the calling
+// process) plus bytes against a processor-sharing bandwidth resource. The
+// bandwidth resource may be shared across many tiers' callers (the PFS) or
+// private to a node (local disk).
+type Tier struct {
+	Name  string
+	FS    *FS
+	BW    *vtime.Bandwidth
+	OpLat time.Duration
+	// IOPS, when set, is a shared operations-per-second pool: concurrent
+	// clients queue on it, which is what makes many small I/O operations
+	// against a shared file system so expensive (paper §4.1.3). Without a
+	// pool, operations cost OpLat each, serialized per caller.
+	IOPS   *vtime.Bandwidth
+	Prefix string // namespace prefix prepended to all paths
+}
+
+// NewTier creates a tier over fs with the given bandwidth resource,
+// per-operation latency, and path prefix.
+func NewTier(name string, fs *FS, bw *vtime.Bandwidth, opLat time.Duration, prefix string) *Tier {
+	return &Tier{Name: name, FS: fs, BW: bw, OpLat: opLat, Prefix: prefix}
+}
+
+func (t *Tier) path(p string) string { return t.Prefix + p }
+
+// Charge bills the calling process for ops operations moving bytes bytes,
+// without touching the namespace. It returns the virtual time spent, which
+// callers accumulate as I/O-wait.
+func (t *Tier) Charge(p *vtime.Proc, ops int, bytes int) time.Duration {
+	start := p.Now()
+	if ops > 0 {
+		// One request latency per call, then the operations drain through
+		// the shared IOPS pool (queueing under contention).
+		p.Sleep(t.OpLat)
+		if t.IOPS != nil {
+			t.IOPS.Acquire(p, float64(ops))
+		} else if ops > 1 {
+			p.Sleep(time.Duration(ops-1) * t.OpLat)
+		}
+	}
+	if bytes > 0 {
+		t.BW.Acquire(p, float64(bytes))
+	}
+	return p.Now() - start
+}
+
+// WriteFile writes data to path as a single operation, charging latency and
+// bandwidth, and returns the I/O-wait incurred.
+func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) time.Duration {
+	d := t.Charge(p, 1, len(data))
+	t.FS.Write(t.path(path), data)
+	return d
+}
+
+// AppendFile appends data to path, charged as ops operations (ops models
+// how many distinct small writes produced this batch of data).
+func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) time.Duration {
+	d := t.Charge(p, ops, len(data))
+	t.FS.Append(t.path(path), data)
+	return d
+}
+
+// ReadFile reads path, charging one operation plus bandwidth for its size.
+func (t *Tier) ReadFile(p *vtime.Proc, path string) ([]byte, time.Duration, error) {
+	data, err := t.FS.Read(t.path(path))
+	if err != nil {
+		return nil, t.Charge(p, 1, 0), err
+	}
+	d := t.Charge(p, 1, len(data))
+	return data, d, nil
+}
+
+// Exists reports whether path exists in this tier (no cost: metadata cached).
+func (t *Tier) Exists(path string) bool { return t.FS.Exists(t.path(path)) }
+
+// Peek returns a file's contents without charging any cost. Callers that
+// model a non-standard access pattern read with Peek and account the cost
+// explicitly via Charge.
+func (t *Tier) Peek(path string) ([]byte, error) { return t.FS.Read(t.path(path)) }
+
+// Size returns the size of path (no cost).
+func (t *Tier) Size(path string) int { return t.FS.Size(t.path(path)) }
+
+// List returns the paths (with the tier prefix stripped) under prefix.
+func (t *Tier) List(prefix string) []string {
+	full := t.FS.List(t.path(prefix))
+	out := make([]string, len(full))
+	for i, f := range full {
+		out[i] = f[len(t.Prefix):]
+	}
+	return out
+}
+
+// Remove deletes path (no cost).
+func (t *Tier) Remove(path string) { t.FS.Remove(t.path(path)) }
+
+// RemovePrefix deletes all files under prefix (no cost).
+func (t *Tier) RemovePrefix(prefix string) int { return t.FS.RemovePrefix(t.path(prefix)) }
+
+// Copy reads src from this tier and writes it to dst on another tier,
+// charging both sides to the calling process. It returns the total I/O-wait.
+func (t *Tier) Copy(p *vtime.Proc, src string, dst *Tier, dstPath string) (time.Duration, error) {
+	data, d1, err := t.ReadFile(p, src)
+	if err != nil {
+		return d1, err
+	}
+	d2 := dst.WriteFile(p, dstPath, data)
+	return d1 + d2, nil
+}

@@ -1,0 +1,102 @@
+package vtime
+
+// Queue is an unbounded FIFO mailbox between simulated processes. Send
+// never blocks; Recv blocks the calling process until an item is available.
+// Queues are the basic synchronization primitive the simulated MPI layer is
+// built on.
+type Queue struct {
+	s       *Sim
+	items   []any
+	waiters []*Proc
+	// interrupted procs are woken without consuming an item; Recv returns
+	// (nil, false) for them. Used to model revoked/failed communication.
+	interrupted map[*Proc]bool
+}
+
+// NewQueue returns an empty queue bound to s.
+func NewQueue(s *Sim) *Queue {
+	return &Queue{s: s, interrupted: make(map[*Proc]bool)}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Send enqueues v and wakes one waiting process, if any. It may be called
+// from a process or from a scheduler callback.
+func (q *Queue) Send(v any) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+func (q *Queue) wakeOne() {
+	for len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if p.dead {
+			continue
+		}
+		q.s.wake(p)
+		return
+	}
+}
+
+// Recv blocks p until an item is available, then dequeues and returns it
+// with ok=true. If the process is interrupted via Interrupt while waiting,
+// Recv returns (nil, false).
+func (q *Queue) Recv(p *Proc) (any, bool) {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+		if q.interrupted[p] {
+			delete(q.interrupted, p)
+			q.unwait(p)
+			return nil, false
+		}
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.unwait(p)
+	// If items remain and other procs are waiting, wake the next one (a
+	// woken proc may have been overtaken at the same timestamp).
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	return v, true
+}
+
+// TryRecv dequeues an item without blocking. ok=false if the queue is empty.
+func (q *Queue) TryRecv() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// unwait removes p from the waiters list (it may appear if the proc looped).
+func (q *Queue) unwait(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Interrupt wakes every process currently blocked in Recv on q; their Recv
+// calls return ok=false. Items already queued are preserved.
+func (q *Queue) Interrupt() {
+	ws := q.waiters
+	q.waiters = nil
+	for _, p := range ws {
+		if p.dead {
+			continue
+		}
+		q.interrupted[p] = true
+		q.s.wake(p)
+	}
+}
+
+// Waiters returns the number of processes blocked in Recv.
+func (q *Queue) Waiters() int { return len(q.waiters) }

@@ -1,0 +1,316 @@
+// Package vtime implements a deterministic discrete-event simulator.
+//
+// Simulated processes are goroutines, but the scheduler runs exactly one of
+// them at a time: a process executes until it parks (sleeps, blocks on a
+// queue, or waits for a resource) and then hands control back to the
+// scheduler, which advances the virtual clock to the next pending event.
+// Runs are therefore fully deterministic: event order depends only on
+// (virtual time, insertion sequence).
+//
+// The package provides the primitives every substrate in this repository is
+// built on: virtual sleeping, mailbox queues for inter-process
+// synchronization, processor-sharing Bandwidth resources (used to model
+// shared storage bandwidth and per-core CPU time), and process kill
+// semantics (used by the failure injector).
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// killSentinel is the panic value used to unwind a killed process.
+type killSentinel struct{}
+
+// event is a scheduled occurrence. Exactly one of proc/fn is set: proc
+// events resume a parked process, fn events run a callback inside the
+// scheduler (callbacks must not block).
+type event struct {
+	at       time.Duration
+	seq      uint64
+	proc     *Proc
+	fn       func()
+	canceled bool
+	index    int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable; create
+// one with NewSim.
+type Sim struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	yielded chan struct{}
+	procs   []*Proc
+	live    int
+	crash   any    // panic value from a simulated process
+	crashBt []byte // and its stack
+}
+
+// NewSim returns an empty simulation at virtual time zero.
+func NewSim() *Sim {
+	return &Sim{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Seconds returns the current virtual time in seconds.
+func (s *Sim) Seconds() float64 { return s.now.Seconds() }
+
+func (s *Sim) schedule(at time.Duration, p *Proc, fn func()) *event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &event{at: at, seq: s.seq, proc: p, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run inside the scheduler at now+d. fn must not
+// block. It returns a handle that can be canceled.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return &Timer{e: s.schedule(s.now+d, nil, fn)}
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer struct{ e *event }
+
+// Stop cancels the timer if it has not fired yet.
+func (t *Timer) Stop() {
+	if t != nil && t.e != nil {
+		t.e.canceled = true
+	}
+}
+
+// Proc is a simulated process.
+type Proc struct {
+	sim    *Sim
+	id     int
+	name   string
+	resume chan struct{}
+	parked bool
+	dead   bool
+	killed bool
+	// killable reports whether a pending kill may interrupt the process at
+	// its current park point. Non-killable parks (used internally by
+	// resources) defer the kill until the next killable park.
+	killable bool
+	started  bool
+	fn       func(*Proc)
+	// OnKill, if set, runs inside the scheduler at the moment the process
+	// is killed (before it is unwound). Used for failure notification.
+	onKill []func()
+}
+
+// Spawn creates a new simulated process that will start running at the
+// current virtual time (after the caller yields, if the caller is itself a
+// process).
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:      s,
+		id:       len(s.procs),
+		name:     name,
+		resume:   make(chan struct{}),
+		fn:       fn,
+		killable: true,
+	}
+	s.procs = append(s.procs, p)
+	s.live++
+	s.schedule(s.now, p, nil)
+	return p
+}
+
+// ID returns the process's simulation-unique id.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Dead reports whether the process has exited or been killed.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Killed reports whether the process was killed (as opposed to exiting).
+func (p *Proc) Killed() bool { return p.killed }
+
+// OnKill registers fn to run (in scheduler context) when the process is
+// killed. Multiple handlers run in registration order.
+func (p *Proc) OnKill(fn func()) { p.onKill = append(p.onKill, fn) }
+
+// start launches the process goroutine. Called on first resume.
+func (p *Proc) start() {
+	p.started = true
+	go func() {
+		defer func() {
+			r := recover()
+			p.dead = true
+			p.sim.live--
+			if r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					p.sim.crash = fmt.Sprintf("proc %q (id %d): %v", p.name, p.id, r)
+					p.sim.crashBt = debug.Stack()
+				}
+			}
+			p.sim.yielded <- struct{}{}
+		}()
+		p.fn(p)
+	}()
+}
+
+// park blocks the process until it is resumed by the scheduler. If the
+// process has been killed and the park point is killable, it unwinds.
+func (p *Proc) park() {
+	if p.killed && p.killable {
+		panic(killSentinel{})
+	}
+	p.parked = true
+	p.sim.yielded <- struct{}{}
+	<-p.resume
+	p.parked = false
+	if p.killed && p.killable {
+		panic(killSentinel{})
+	}
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p, nil)
+	p.park()
+}
+
+// SleepSeconds advances the process by sec seconds of virtual time.
+func (p *Proc) SleepSeconds(sec float64) {
+	if sec < 0 || math.IsNaN(sec) {
+		sec = 0
+	}
+	p.Sleep(time.Duration(sec * float64(time.Second)))
+}
+
+// Yield lets other runnable processes scheduled at the same instant run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill terminates proc. If it is parked, it unwinds at the current virtual
+// time; if it is running, it unwinds at its next park point. Killing a dead
+// process is a no-op. Kill may be called from scheduler callbacks or from
+// another process.
+func (s *Sim) Kill(proc *Proc) {
+	if proc.dead || proc.killed {
+		return
+	}
+	proc.killed = true
+	for _, fn := range proc.onKill {
+		fn()
+	}
+	if proc.parked && proc.killable {
+		// Wake it immediately so it can unwind.
+		s.schedule(s.now, proc, nil)
+	}
+}
+
+// Run executes the simulation until no events remain. It returns the final
+// virtual time. If a simulated process panicked, Run re-panics with the
+// original value and stack.
+func (s *Sim) Run() time.Duration {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.canceled || (e.proc != nil && e.proc.dead) {
+			continue
+		}
+		s.now = e.at
+		switch {
+		case e.proc != nil:
+			p := e.proc
+			if !p.started {
+				p.start()
+				<-s.yielded
+			} else if p.parked {
+				p.resume <- struct{}{}
+				<-s.yielded
+			}
+			// A proc that is neither unstarted nor parked was woken by an
+			// earlier event at the same timestamp; drop the duplicate.
+		case e.fn != nil:
+			e.fn()
+		}
+		if s.crash != nil {
+			panic(fmt.Sprintf("vtime: simulated process panicked: %v\n%s", s.crash, s.crashBt))
+		}
+	}
+	return s.now
+}
+
+// Stranded returns the names of processes that are still parked after Run
+// finished (i.e. they are waiting for something that will never happen).
+// Useful in tests to assert clean shutdown.
+func (s *Sim) Stranded() []string {
+	var out []string
+	for _, p := range s.procs {
+		if !p.dead && p.started {
+			out = append(out, p.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// wake schedules proc to resume at the current virtual time.
+func (s *Sim) wake(p *Proc) {
+	if p.dead {
+		return
+	}
+	s.schedule(s.now, p, nil)
+}
+
+// Wake schedules proc to resume at the current virtual time. It is the
+// companion of Proc.Park for building custom blocking primitives (the
+// simulated MPI's message matching uses it). Waking a process that is not
+// parked is harmless — the duplicate resume is dropped.
+func (s *Sim) Wake(p *Proc) { s.wake(p) }
+
+// Park blocks the process until another process or scheduler callback wakes
+// it with Sim.Wake. Callers must re-check their wait condition after Park
+// returns: wakes can be spurious. If the process is killed while parked, it
+// unwinds.
+func (p *Proc) Park() { p.park() }

@@ -1,0 +1,408 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(f float64) time.Duration { return time.Duration(f * float64(time.Second)) }
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := NewSim()
+	var end time.Duration
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		p.Sleep(2 * time.Second)
+		end = p.Now()
+	})
+	s.Run()
+	if end != 5*time.Second {
+		t.Fatalf("end = %v, want 5s", end)
+	}
+}
+
+func TestParallelProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := NewSim()
+		var order []string
+		s.Spawn("a", func(p *Proc) {
+			p.Sleep(2 * time.Second)
+			order = append(order, "a2")
+			p.Sleep(2 * time.Second)
+			order = append(order, "a4")
+		})
+		s.Spawn("b", func(p *Proc) {
+			p.Sleep(1 * time.Second)
+			order = append(order, "b1")
+			p.Sleep(2 * time.Second)
+			order = append(order, "b3")
+		})
+		s.Run()
+		return order
+	}
+	want := []string{"b1", "a2", "b3", "a4"}
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestQueueBlocksAndDelivers(t *testing.T) {
+	s := NewSim()
+	q := NewQueue(s)
+	var got any
+	var at time.Duration
+	s.Spawn("recv", func(p *Proc) {
+		got, _ = q.Recv(p)
+		at = p.Now()
+	})
+	s.Spawn("send", func(p *Proc) {
+		p.Sleep(4 * time.Second)
+		q.Send(42)
+	})
+	s.Run()
+	if got != 42 || at != 4*time.Second {
+		t.Fatalf("got %v at %v, want 42 at 4s", got, at)
+	}
+}
+
+func TestQueueFIFOAcrossWaiters(t *testing.T) {
+	s := NewSim()
+	q := NewQueue(s)
+	var got []int
+	for i := 0; i < 3; i++ {
+		s.Spawn("recv", func(p *Proc) {
+			v, ok := q.Recv(p)
+			if !ok {
+				t.Error("unexpected interrupt")
+				return
+			}
+			got = append(got, v.(int))
+		})
+	}
+	s.Spawn("send", func(p *Proc) {
+		p.Sleep(time.Second)
+		q.Send(1)
+		q.Send(2)
+		q.Send(3)
+	})
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestQueueInterrupt(t *testing.T) {
+	s := NewSim()
+	q := NewQueue(s)
+	interrupted := false
+	s.Spawn("recv", func(p *Proc) {
+		_, ok := q.Recv(p)
+		interrupted = !ok
+	})
+	s.Spawn("int", func(p *Proc) {
+		p.Sleep(time.Second)
+		q.Interrupt()
+	})
+	s.Run()
+	if !interrupted {
+		t.Fatal("recv was not interrupted")
+	}
+	if n := len(s.Stranded()); n != 0 {
+		t.Fatalf("%d stranded procs", n)
+	}
+}
+
+func TestKillUnwindsParkedProc(t *testing.T) {
+	s := NewSim()
+	reached := false
+	var victim *Proc
+	victim = s.Spawn("victim", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		reached = true
+	})
+	s.Spawn("killer", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		s.Kill(victim)
+	})
+	end := s.Run()
+	if reached {
+		t.Fatal("victim ran past kill point")
+	}
+	if !victim.Dead() || !victim.Killed() {
+		t.Fatal("victim not marked dead+killed")
+	}
+	if end != 2*time.Second {
+		t.Fatalf("sim ended at %v, want 2s", end)
+	}
+}
+
+func TestOnKillHandlerRuns(t *testing.T) {
+	s := NewSim()
+	fired := false
+	var victim *Proc
+	victim = s.Spawn("victim", func(p *Proc) {
+		p.OnKill(func() { fired = true })
+		p.Sleep(time.Hour)
+	})
+	s.Spawn("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		s.Kill(victim)
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("OnKill handler did not run")
+	}
+}
+
+func TestBandwidthSingleUser(t *testing.T) {
+	s := NewSim()
+	bw := NewBandwidth(s, "disk", 100) // 100 units/s
+	var took time.Duration
+	s.Spawn("u", func(p *Proc) {
+		start := p.Now()
+		bw.Acquire(p, 500)
+		took = p.Now() - start
+	})
+	s.Run()
+	if took < sec(4.99) || took > sec(5.01) {
+		t.Fatalf("took %v, want ~5s", took)
+	}
+}
+
+func TestBandwidthProcessorSharing(t *testing.T) {
+	// Two equal transfers sharing 100 u/s: each effectively gets 50 u/s,
+	// both finish at t=10 for 500 units.
+	s := NewSim()
+	bw := NewBandwidth(s, "disk", 100)
+	var done [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("u", func(p *Proc) {
+			bw.Acquire(p, 500)
+			done[i] = p.Now()
+		})
+	}
+	s.Run()
+	for i, d := range done {
+		if d < sec(9.99) || d > sec(10.01) {
+			t.Fatalf("user %d done at %v, want ~10s", i, d)
+		}
+	}
+}
+
+func TestBandwidthLateJoiner(t *testing.T) {
+	// u0 starts 600 units at t=0 alone (rate 100). u1 joins at t=2 with 200
+	// units. From t=2 both get 50 u/s. u0 has 400 left at t=2.
+	// u1 finishes at t=2+200/50=6. Then u0 alone: at t=6 it has
+	// 400-4*50=200 left, finishing at t=8.
+	s := NewSim()
+	bw := NewBandwidth(s, "disk", 100)
+	var d0, d1 time.Duration
+	s.Spawn("u0", func(p *Proc) {
+		bw.Acquire(p, 600)
+		d0 = p.Now()
+	})
+	s.Spawn("u1", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		bw.Acquire(p, 200)
+		d1 = p.Now()
+	})
+	s.Run()
+	if d1 < sec(5.99) || d1 > sec(6.01) {
+		t.Fatalf("u1 done at %v, want ~6s", d1)
+	}
+	if d0 < sec(7.99) || d0 > sec(8.01) {
+		t.Fatalf("u0 done at %v, want ~8s", d0)
+	}
+}
+
+func TestBandwidthKilledUserReleasesShare(t *testing.T) {
+	// u0 and u1 share; u1 is killed at t=2, after which u0 runs at full rate.
+	// u0: 1000 units at 100 u/s. t<2: 50 u/s -> 100 served. Remaining 900 at
+	// full rate -> done at t=11.
+	s := NewSim()
+	bw := NewBandwidth(s, "disk", 100)
+	var d0 time.Duration
+	var u1 *Proc
+	s.Spawn("u0", func(p *Proc) {
+		bw.Acquire(p, 1000)
+		d0 = p.Now()
+	})
+	u1 = s.Spawn("u1", func(p *Proc) {
+		bw.Acquire(p, 1e9)
+	})
+	s.Spawn("killer", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		s.Kill(u1)
+	})
+	s.Run()
+	if d0 < sec(10.95) || d0 > sec(11.05) {
+		t.Fatalf("u0 done at %v, want ~11s", d0)
+	}
+}
+
+func TestAfterTimerAndStop(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.After(time.Second, func() { fired++ })
+	tm := s.After(2*time.Second, func() { fired += 100 })
+	tm.Stop()
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+// Property: for any set of sleep durations, each process ends at exactly the
+// sum of its sleeps, regardless of interleaving.
+func TestPropSleepSumsExact(t *testing.T) {
+	f := func(durs [][3]uint16) bool {
+		if len(durs) > 32 {
+			durs = durs[:32]
+		}
+		s := NewSim()
+		ends := make([]time.Duration, len(durs))
+		for i, d3 := range durs {
+			i, d3 := i, d3
+			s.Spawn("p", func(p *Proc) {
+				var total time.Duration
+				for _, d := range d3 {
+					dd := time.Duration(d) * time.Millisecond
+					p.Sleep(dd)
+					total += dd
+				}
+				if p.Now() != total {
+					t.Errorf("proc %d at %v, want %v", i, p.Now(), total)
+				}
+				ends[i] = p.Now()
+			})
+		}
+		s.Run()
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bandwidth conservation — total served units equal the sum of all
+// completed transfer sizes, and the makespan is at least total/rate.
+func TestPropBandwidthConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 24 {
+			sizes = sizes[:24]
+		}
+		s := NewSim()
+		bw := NewBandwidth(s, "r", 1000)
+		var total float64
+		for _, sz := range sizes {
+			amount := float64(sz%5000) + 1
+			total += amount
+			s.Spawn("u", func(p *Proc) { bw.Acquire(p, amount) })
+		}
+		end := s.Run()
+		lower := total / 1000
+		if end.Seconds() < lower-1e-6 {
+			t.Errorf("makespan %v < lower bound %.4fs", end, lower)
+		}
+		if diff := bw.Served() - total; diff < -1 || diff > 1 {
+			t.Errorf("served %.2f, want %.2f", bw.Served(), total)
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrandedReportsBlockedProcs(t *testing.T) {
+	s := NewSim()
+	q := NewQueue(s)
+	s.Spawn("stuck", func(p *Proc) { q.Recv(p) })
+	s.Run()
+	st := s.Stranded()
+	if len(st) != 1 || st[0] != "stuck" {
+		t.Fatalf("stranded = %v, want [stuck]", st)
+	}
+}
+
+func TestQueueTryRecvAndLen(t *testing.T) {
+	s := NewSim()
+	q := NewQueue(s)
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on empty queue succeeded")
+	}
+	q.Send(1)
+	q.Send(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, ok := q.TryRecv()
+	if !ok || v != 1 {
+		t.Fatalf("TryRecv = %v %v", v, ok)
+	}
+}
+
+func TestSleepSecondsGuards(t *testing.T) {
+	s := NewSim()
+	var end time.Duration
+	s.Spawn("p", func(p *Proc) {
+		p.SleepSeconds(-5)  // clamped to 0
+		p.SleepSeconds(0.5) // 500ms
+		nan := math.NaN()
+		p.SleepSeconds(nan) // NaN clamped to 0
+		end = p.Now()
+	})
+	s.Run()
+	if end != 500*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	s := NewSim()
+	p1 := s.Spawn("alpha", func(p *Proc) {
+		if p.Name() != "alpha" || p.Sim() != s {
+			t.Error("identity accessors wrong")
+		}
+	})
+	p2 := s.Spawn("beta", func(p *Proc) {})
+	if p1.ID() == p2.ID() {
+		t.Fatal("duplicate proc ids")
+	}
+	s.Run()
+	if !p1.Dead() || p1.Killed() {
+		t.Fatal("completed proc state wrong")
+	}
+}

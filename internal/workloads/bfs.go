@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/core"
+)
+
+// Breadth First Search (§6.1: "a single stage iterative MapReduce job. The
+// map tasks visit and color vertices. The reduce tasks combine the visiting
+// information of each vertex. It repeats ... until the input graph is fully
+// traversed.")
+//
+// State lines are `node<TAB>dist|adj` with dist = -1 for unvisited. Each
+// level runs one MapReduce job; the driver stops when a level visits no new
+// vertex.
+
+// BFSParams scales the BFS benchmark.
+type BFSParams struct {
+	Graph      GraphParams
+	Source     int
+	MapCost    float64
+	ReduceCost float64
+}
+
+// DefaultBFS returns the paper-regime configuration.
+func DefaultBFS() BFSParams {
+	return BFSParams{Graph: DefaultGraph(), Source: 0, MapCost: 40e-6, ReduceCost: 1e-6}
+}
+
+// GenBFSInput writes the level-0 state.
+func GenBFSInput(clus *cluster.Cluster, prefix string, p BFSParams) {
+	writeState(clus, prefix, p.Graph, func(node int) string {
+		if node == p.Source {
+			return "0"
+		}
+		return "-1"
+	})
+}
+
+// bfsMapper visits the current frontier.
+type bfsMapper struct {
+	level int
+	cost  float64
+}
+
+// Map implements core.Mapper.
+func (m *bfsMapper) Map(ctx *core.TaskContext, k, v []byte, out core.KVWriter) error {
+	node, value, adj, ok := parseStateLine(v)
+	if !ok {
+		return fmt.Errorf("bfs: bad state line %q", v)
+	}
+	out.Emit([]byte(node), []byte("S"+value+"|"+strings.Join(adj, ",")))
+	if value == strconv.Itoa(m.level) {
+		visit := []byte("V" + strconv.Itoa(m.level+1))
+		for _, n := range adj {
+			out.Emit([]byte(n), visit)
+		}
+	}
+	return nil
+}
+
+// Cost implements core.Mapper.
+func (m *bfsMapper) Cost(k, v []byte) float64 { return m.cost }
+
+// bfsReducer combines visit proposals with the node state.
+type bfsReducer struct{ cost float64 }
+
+// Reduce implements core.Reducer.
+func (r *bfsReducer) Reduce(ctx *core.TaskContext, key []byte, vals [][]byte, out core.RecordWriter) error {
+	dist := -1
+	state := ""
+	best := -1
+	for _, v := range vals {
+		switch {
+		case len(v) > 0 && v[0] == 'S':
+			state = string(v[1:])
+			bar := strings.IndexByte(state, '|')
+			d, err := strconv.Atoi(state[:bar])
+			if err != nil {
+				return fmt.Errorf("bfs: bad state %q: %v", v, err)
+			}
+			dist = d
+		case len(v) > 0 && v[0] == 'V':
+			d, err := strconv.Atoi(string(v[1:]))
+			if err != nil {
+				return fmt.Errorf("bfs: bad visit %q: %v", v, err)
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+	}
+	if state == "" {
+		// Proposal for a node with no structure record: drop (cannot
+		// happen on well-formed inputs).
+		return nil
+	}
+	adj := state[strings.IndexByte(state, '|'):]
+	if best >= 0 && (dist < 0 || best < dist) {
+		dist = best
+		ctx.AddCounter("visited", 1)
+	}
+	out.Write(key, []byte(strconv.Itoa(dist)+adj))
+	return nil
+}
+
+// Cost implements core.Reducer.
+func (r *bfsReducer) Cost(key []byte, vals [][]byte) float64 {
+	return r.cost * float64(len(vals))
+}
+
+// BFSLevelSpec builds the spec for one BFS level.
+func BFSLevelSpec(base core.Spec, name string, level int, inputPrefix string, p BFSParams) core.Spec {
+	s := base
+	s.Name = fmt.Sprintf("%s-l%02d", name, level)
+	s.JobID = s.Name
+	s.InputPrefix = inputPrefix
+	s.NewReader = core.NewLineReader
+	s.NewMapper = func() core.Mapper { return &bfsMapper{level: level, cost: p.MapCost} }
+	s.NewReducer = func() core.Reducer { return &bfsReducer{cost: p.ReduceCost} }
+	return s
+}
+
+// BFSDriver runs levels until no new vertex is visited (or maxLevels) and
+// returns the final state prefix.
+func BFSDriver(app *core.App, base core.Spec, name, inputPrefix string, maxLevels int, p BFSParams) (string, error) {
+	in := inputPrefix
+	for level := 0; level < maxLevels; level++ {
+		spec := BFSLevelSpec(base, name, level, in, p)
+		res, err := app.RunJob(spec)
+		if err != nil {
+			return "", err
+		}
+		in = "out/" + spec.JobID
+		if res.Counter("visited") == 0 && level > 0 {
+			break
+		}
+	}
+	return in, nil
+}
+
+// RefBFS computes reference distances sequentially.
+func RefBFS(p BFSParams) []int {
+	dist := make([]int, p.Graph.Nodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[p.Source] = 0
+	frontier := []int{p.Source}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range p.Graph.Adjacency(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// ReadDistances parses a BFS state prefix into node→distance.
+func ReadDistances(clus *cluster.Cluster, prefix string) map[int]int {
+	out := make(map[int]int)
+	for _, path := range clus.PFS.List(prefix) {
+		data, err := clus.PFS.Peek(path)
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			node, value, _, ok := parseStateLine([]byte(line))
+			if !ok {
+				continue
+			}
+			id, err1 := strconv.Atoi(node)
+			d, err2 := strconv.Atoi(value)
+			if err1 == nil && err2 == nil {
+				out[id] = d
+			}
+		}
+	}
+	return out
+}

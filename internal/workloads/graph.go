@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"ftmrmpi/internal/cluster"
+)
+
+// Graph generation shared by the PageRank and BFS benchmarks: a
+// deterministic sparse directed graph with skewed degrees (R-MAT-flavoured),
+// stored as state lines `node<TAB>value|n1,n2,...` split across chunk files.
+
+// GraphParams describes a synthetic graph.
+type GraphParams struct {
+	Nodes  int
+	Degree int // average out-degree
+	Chunks int
+	Seed   int64
+}
+
+// DefaultGraph is the scaled-down stand-in for the paper's 250 GB inputs.
+func DefaultGraph() GraphParams {
+	return GraphParams{Nodes: 60000, Degree: 8, Chunks: 512, Seed: 3}
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Adjacency returns node i's out-neighbours (deterministic, skewed toward
+// low node ids so degrees are non-uniform like real web/social graphs).
+func (g GraphParams) Adjacency(i int) []int {
+	h := mix(uint64(i)*31 + uint64(g.Seed))
+	deg := 1 + int(h%uint64(2*g.Degree-1)) // 1 .. 2*Degree-1
+	out := make([]int, 0, deg)
+	seen := map[int]bool{}
+	for j := 0; j < deg; j++ {
+		h = mix(h + uint64(j))
+		var nbr int
+		if h%4 == 0 {
+			// Skew: hub attachment to the low-id core.
+			nbr = int(mix(h) % uint64(g.Nodes/16+1))
+		} else {
+			nbr = int(mix(h) % uint64(g.Nodes))
+		}
+		if nbr != i && !seen[nbr] {
+			seen[nbr] = true
+			out = append(out, nbr)
+		}
+	}
+	return out
+}
+
+// writeState writes graph state lines (value per node) under prefix.
+func writeState(clus *cluster.Cluster, prefix string, g GraphParams, value func(node int) string) {
+	perChunk := (g.Nodes + g.Chunks - 1) / g.Chunks
+	chunk := 0
+	var sb strings.Builder
+	for i := 0; i < g.Nodes; i++ {
+		sb.WriteString(fmt.Sprintf("%d\t%s|", i, value(i)))
+		for j, n := range g.Adjacency(i) {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", n)
+		}
+		sb.WriteByte('\n')
+		if (i+1)%perChunk == 0 || i == g.Nodes-1 {
+			clus.FS.Write(fmt.Sprintf("pfs:%s/chunk-%05d", prefix, chunk), []byte(sb.String()))
+			sb.Reset()
+			chunk++
+		}
+	}
+}
+
+// parseStateLine splits `node<TAB>value|adj` into its parts. adj is empty
+// when the node has no out-links.
+func parseStateLine(v []byte) (node string, value string, adj []string, ok bool) {
+	s := string(v)
+	tab := strings.IndexByte(s, '\t')
+	if tab < 0 {
+		return "", "", nil, false
+	}
+	node = s[:tab]
+	rest := s[tab+1:]
+	bar := strings.IndexByte(rest, '|')
+	if bar < 0 {
+		return "", "", nil, false
+	}
+	value = rest[:bar]
+	if a := rest[bar+1:]; a != "" {
+		adj = strings.Split(a, ",")
+	}
+	return node, value, adj, true
+}

@@ -1,0 +1,179 @@
+// Package workloads implements the paper's four evaluation applications
+// (§6.1) against the FT-MRMPI task-runner interfaces: wordcount, breadth
+// first search, PageRank, and MR-MPI-BLAST (simulated: the NCBI toolkit is
+// modeled as heavy external-library compute per query). Each workload ships
+// a deterministic synthetic input generator and, for tests, a sequential
+// reference implementation.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/core"
+)
+
+// WordcountParams scales the wordcount benchmark.
+type WordcountParams struct {
+	Chunks     int // input chunks (map tasks)
+	Lines      int // lines per chunk
+	WordsLine  int // words per line
+	Vocab      int // distinct words (Zipf-distributed)
+	Seed       int64
+	MapCost    float64 // CPU seconds per record (line)
+	ReduceCost float64 // CPU seconds per group value
+}
+
+// DefaultWordcount returns the scaled-down stand-in for the paper's 128 GB
+// wordcount runs.
+func DefaultWordcount() WordcountParams {
+	return WordcountParams{
+		Chunks:    512,
+		Lines:     256,
+		WordsLine: 8,
+		Vocab:     20000,
+		Seed:      1,
+		// Wordcount "involves very little computation" (§6.1); these costs
+		// make it communication/I/O bound, like the paper's runs.
+		MapCost:    100e-6,
+		ReduceCost: 0.3e-6,
+	}
+}
+
+// GenCorpus writes the synthetic corpus under prefix and returns the
+// expected word counts (for verification at small scale).
+func GenCorpus(clus *cluster.Cluster, prefix string, p WordcountParams) map[string]int {
+	rng := rand.New(rand.NewSource(p.Seed))
+	zipf := rand.NewZipf(rng, 1.07, 4.0, uint64(p.Vocab-1))
+	expect := make(map[string]int)
+	var sb strings.Builder
+	for c := 0; c < p.Chunks; c++ {
+		sb.Reset()
+		for l := 0; l < p.Lines; l++ {
+			for w := 0; w < p.WordsLine; w++ {
+				word := fmt.Sprintf("w%06d", zipf.Uint64())
+				expect[word]++
+				sb.WriteString(word)
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		clus.FS.Write(fmt.Sprintf("pfs:%s/chunk-%05d", prefix, c), []byte(sb.String()))
+	}
+	return expect
+}
+
+// wcMapper emits (word, 1) per word of each line.
+type wcMapper struct{ cost float64 }
+
+// Map implements core.Mapper.
+func (m *wcMapper) Map(ctx *core.TaskContext, k, v []byte, out core.KVWriter) error {
+	for _, w := range strings.Fields(string(v)) {
+		out.Emit([]byte(w), one)
+	}
+	return nil
+}
+
+// Cost implements core.Mapper.
+func (m *wcMapper) Cost(k, v []byte) float64 { return m.cost }
+
+var one = []byte{1}
+
+// wcReducer sums the per-word counts.
+type wcReducer struct{ cost float64 }
+
+// Reduce implements core.Reducer.
+func (r *wcReducer) Reduce(ctx *core.TaskContext, key []byte, vals [][]byte, out core.RecordWriter) error {
+	total := 0
+	for _, v := range vals {
+		for _, b := range v {
+			total += int(b)
+		}
+	}
+	out.Write(key, []byte(strconv.Itoa(total)))
+	return nil
+}
+
+// Cost implements core.Reducer.
+func (r *wcReducer) Cost(key []byte, vals [][]byte) float64 {
+	return r.cost * float64(len(vals))
+}
+
+// WordcountSpec builds the job spec for a generated corpus.
+func WordcountSpec(name, inputPrefix string, nranks int, p WordcountParams) core.Spec {
+	return core.Spec{
+		Name:        name,
+		JobID:       name,
+		NumRanks:    nranks,
+		InputPrefix: inputPrefix,
+		NewReader:   core.NewLineReader,
+		NewMapper:   func() core.Mapper { return &wcMapper{cost: p.MapCost} },
+		NewReducer:  func() core.Reducer { return &wcReducer{cost: p.ReduceCost} },
+	}
+}
+
+// ReadWordCounts parses a wordcount job's output partitions.
+func ReadWordCounts(clus *cluster.Cluster, jobID string, parts int) map[string]int {
+	out := make(map[string]int)
+	for p := 0; p < parts; p++ {
+		data, err := clus.PFS.Peek(fmt.Sprintf("out/%s/part-%05d", jobID, p))
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			kv := strings.SplitN(line, "\t", 2)
+			if len(kv) != 2 {
+				continue
+			}
+			n, err := strconv.Atoi(kv[1])
+			if err == nil {
+				out[kv[0]] += n
+			}
+		}
+	}
+	return out
+}
+
+// wcCombiner folds the local per-word counts before the shuffle (MR-MPI's
+// "compress"). Values are little-endian varint-free byte sums: each value
+// byte contributes its numeric value, so combining is idempotent over its
+// own output.
+type wcCombiner struct{ cost float64 }
+
+// Combine implements core.Combiner.
+func (c *wcCombiner) Combine(ctx *core.TaskContext, key []byte, vals [][]byte) ([]byte, error) {
+	total := 0
+	for _, v := range vals {
+		for _, b := range v {
+			total += int(b)
+		}
+	}
+	// Encode as repeated 255s plus remainder so the reducer's byte-sum
+	// decoding keeps working unchanged.
+	out := make([]byte, 0, total/255+1)
+	for total >= 255 {
+		out = append(out, 255)
+		total -= 255
+	}
+	if total > 0 || len(out) == 0 {
+		out = append(out, byte(total))
+	}
+	return out, nil
+}
+
+// Cost implements core.Combiner.
+func (c *wcCombiner) Cost(key []byte, vals [][]byte) float64 {
+	return c.cost * float64(len(vals))
+}
+
+// WithCombiner enables local pre-reduction on a wordcount spec.
+func WithCombiner(spec core.Spec, p WordcountParams) core.Spec {
+	spec.NewCombiner = func() core.Combiner { return &wcCombiner{cost: p.ReduceCost} }
+	return spec
+}
