@@ -1,0 +1,24 @@
+GO ?= go
+
+# `make check` is the tier-1 gate (referenced from ROADMAP.md): static
+# checks, a full build, the race detector over the internals, the whole
+# test suite, and the tracer-overhead benchmark that keeps the disabled
+# instrumentation path at one-branch cost.
+.PHONY: check vet build test race bench-overhead
+
+check: vet build race test bench-overhead
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench-overhead:
+	$(GO) test ./internal/trace -run '^$$' -bench TracerOverhead -benchmem

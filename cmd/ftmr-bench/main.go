@@ -24,7 +24,17 @@ func main() {
 	all := flag.Bool("all", false, "run every figure")
 	list := flag.Bool("list", false, "list available figures")
 	quick := flag.Bool("quick", false, "trim sweeps (same as FTMR_QUICK=1)")
+	tracePfx := flag.String("trace", "", "write per-run event traces to <prefix>-NNN files")
+	traceFmt := flag.String("trace-format", "chrome", "trace format: jsonl | chrome")
 	flag.Parse()
+
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "unknown trace format %q (jsonl|chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
+	if *tracePfx != "" {
+		bench.EnableTracing(0)
+	}
 
 	scale := bench.ScaleFromEnv()
 	if *quick {
@@ -55,5 +65,14 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *tracePfx != "" {
+		paths, err := bench.WriteTraces(*tracePfx, *traceFmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write traces: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%d trace file(s) written (%s-*)\n", len(paths), *tracePfx)
 	}
 }

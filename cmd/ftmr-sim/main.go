@@ -19,6 +19,7 @@ import (
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
 	"ftmrmpi/internal/failure"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/workloads"
 )
 
@@ -52,8 +53,16 @@ func main() {
 		restart   = flag.Bool("restart", false, "after an aborted CR run, resubmit with Resume")
 		iters     = flag.Int("iters", 2, "iterations (pagerank/bfs)")
 		asJSON    = flag.Bool("json", false, "emit results as JSON lines")
+		tracePath = flag.String("trace", "", "write an event trace to this file")
+		traceFmt  = flag.String("trace-format", "chrome", "trace format: jsonl | chrome")
+		traceCap  = flag.Int("trace-cap", 1<<16, "per-rank trace ring capacity (events)")
 	)
 	flag.Parse()
+
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "unknown trace format %q (jsonl|chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
 
 	m, err := parseModel(*model)
 	if err != nil {
@@ -69,6 +78,9 @@ func main() {
 		}
 		return cluster.New(cfg)
 	}()
+	if *tracePath != "" {
+		clus.Trace = trace.New(clus.Sim, *traceCap)
+	}
 
 	base := core.Spec{
 		Model:        m,
@@ -159,5 +171,13 @@ func main() {
 		h2 := core.RunSingle(clus, spec)
 		clus.Sim.Run()
 		report(h2.Result())
+	}
+
+	if *tracePath != "" {
+		if err := clus.Trace.WriteFile(*tracePath, *traceFmt); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%s)\n", *tracePath, *traceFmt)
 	}
 }

@@ -5,23 +5,32 @@
 // reference.
 //
 //	go run ./examples/wordcount-failover
+//	go run ./examples/wordcount-failover -trace failover.json   # Chrome trace
 package main
 
 import (
+	"flag"
 	"fmt"
 	"reflect"
 	"time"
 
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/workloads"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace of both attempts to this file")
+	flag.Parse()
+
 	cfg := cluster.Default()
 	cfg.Nodes = 8
 	cfg.PPN = 2
 	clus := cluster.New(cfg)
+	if *traceOut != "" {
+		clus.Trace = trace.New(clus.Sim, 1<<18)
+	}
 
 	p := workloads.DefaultWordcount()
 	p.Chunks = 64
@@ -69,4 +78,11 @@ func main() {
 		panic("recovered output differs from the failure-free reference!")
 	}
 	fmt.Printf("output verified: %d word counts identical to the failure-free reference\n", len(got))
+
+	if *traceOut != "" {
+		if err := clus.Trace.WriteFile(*traceOut, "chrome"); err != nil {
+			panic(err)
+		}
+		fmt.Printf("trace written to %s — open it in chrome://tracing or ui.perfetto.dev\n", *traceOut)
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/workloads"
 )
 
@@ -100,6 +101,42 @@ func (s Scale) procSweep(from int) []int {
 	return out
 }
 
+// Tracing support: figures build their clusters internally, so cmd/ftmr-bench
+// cannot attach a tracer itself. EnableTracing makes every cluster newCluster
+// builds from now on carry a fresh tracer; WriteTraces dumps the collected
+// tracers, one file per cluster, numbered in creation order.
+var (
+	traceCap     int
+	traceTracers []*trace.Tracer
+)
+
+// EnableTracing turns on event tracing for subsequently built clusters.
+// capPerRank <= 0 selects the default ring capacity.
+func EnableTracing(capPerRank int) {
+	if capPerRank <= 0 {
+		capPerRank = trace.DefaultCapacity
+	}
+	traceCap = capPerRank
+}
+
+// WriteTraces writes every collected tracer to prefix-NNN.<ext> in the given
+// format and returns the paths written.
+func WriteTraces(prefix, format string) ([]string, error) {
+	ext := "json"
+	if format == "jsonl" {
+		ext = "jsonl"
+	}
+	var paths []string
+	for i, t := range traceTracers {
+		path := fmt.Sprintf("%s-%03d.%s", prefix, i, ext)
+		if err := t.WriteFile(path, format); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
 // newCluster builds a fresh paper-shaped cluster sized for nprocs.
 func newCluster(nprocs int) *cluster.Cluster {
 	cfg := cluster.Default()
@@ -107,7 +144,12 @@ func newCluster(nprocs int) *cluster.Cluster {
 	if need < cfg.Nodes {
 		cfg.Nodes = need
 	}
-	return cluster.New(cfg)
+	c := cluster.New(cfg)
+	if traceCap > 0 {
+		c.Trace = trace.New(c.Sim, traceCap)
+		traceTracers = append(traceTracers, c.Trace)
+	}
+	return c
 }
 
 // wcParams returns the wordcount sizing for the benchmarks (the 128 GB

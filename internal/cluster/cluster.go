@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ftmrmpi/internal/storage"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
 )
 
@@ -82,6 +83,12 @@ type Cluster struct {
 	FS    *storage.FS // the global namespace backing every tier
 	PFS   *storage.Tier
 	Nodes []*Node
+
+	// Trace, when non-nil, receives structured events from every layer
+	// running on this cluster (MPI, runner, checkpointing, failure
+	// injection). nil disables tracing at the cost of one branch per
+	// instrumentation point.
+	Trace *trace.Tracer
 }
 
 // New builds a cluster on a fresh simulation.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ftmrmpi/internal/storage"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
 )
 
@@ -98,7 +99,8 @@ type copier struct {
 	pfs     *storage.Tier
 	cpu     *vtime.Bandwidth
 	metrics *RankMetrics
-	copied  map[string]int // stream -> bytes durable on PFS
+	rec     *trace.Recorder // owning rank's recorder; events land on its copier track
+	copied  map[string]int  // stream -> bytes durable on PFS
 	stopped bool
 }
 
@@ -188,6 +190,7 @@ func (cp *copier) copyStream(p *vtime.Proc, stream string) {
 	cp.metrics.CPUCopier += p.Now() - t0
 	cp.metrics.CopierIO += cp.pfs.AppendFile(p, path, delta, 1)
 	cp.copied[stream] = total
+	cp.rec.CopierDrain(stream, len(delta))
 }
 
 // enqueue schedules a stream drain.
@@ -226,6 +229,7 @@ type ckptWriter struct {
 	pfs     *storage.Tier
 	cp      *copier
 	m       *RankMetrics
+	rec     *trace.Recorder
 }
 
 // write appends encoded frame bytes to a stream, charging frames small
@@ -238,6 +242,7 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 	path := ckptPath(w.jobID, stream)
 	w.m.CkptFrames += int64(frames)
 	w.m.CkptBytes += int64(len(data))
+	w.rec.CkptCommit(stream, len(data), frames)
 	if w.loc == LocLocalCopier && w.local != nil {
 		w.m.IOWait += w.local.AppendFile(p, path, data, frames)
 		w.cp.enqueue(stream)
@@ -265,6 +270,7 @@ type ckptReader struct {
 	local    *storage.Tier // staging target for prefetch
 	prefetch bool
 	m        *RankMetrics
+	rec      *trace.Recorder
 	// staged marks streams already prefetched to the local disk.
 	staged map[string]bool
 }
@@ -280,6 +286,7 @@ func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 	}
 	r.m.RecoveredBytes += int64(r.pfs.Size(path))
 	r.m.RecoveredFrames += int64(countFrames(mustPeek(r.pfs, path)))
+	r.rec.CkptLoad(stream, r.pfs.Size(path), countFrames(mustPeek(r.pfs, path)))
 	if r.prefetch && r.local != nil {
 		if !r.staged[stream] {
 			data, d, err := r.pfs.ReadFile(p, path)

@@ -137,6 +137,20 @@ func (r *Result) TotalIOWait() time.Duration {
 	return t
 }
 
+// MissingRanks returns the launch ranks whose metrics slot is nil — ranks
+// that died before reporting, or were never collected. Aggregations
+// (PhaseTotal, Counter, ...) silently skip these slots; callers judging a
+// run's completeness should consult this list.
+func (r *Result) MissingRanks() []int {
+	var out []int
+	for i, m := range r.Ranks {
+		if m == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Counter sums a user counter across ranks.
 func (r *Result) Counter(name string) int64 {
 	var t int64
@@ -166,32 +180,35 @@ func (r *Result) RecoveryTotal() RecoveryBreakdown {
 // ResultSummary is a JSON-friendly projection of a Result (Spec holds
 // factory functions and cannot be marshaled directly).
 type ResultSummary struct {
-	Job         string             `json:"job"`
-	Model       string             `json:"model"`
-	Ranks       int                `json:"ranks"`
-	Aborted     bool               `json:"aborted"`
-	ElapsedSec  float64            `json:"elapsed_sec"`
-	FailedRanks []int              `json:"failed_ranks,omitempty"`
-	PhaseMaxSec map[string]float64 `json:"phase_max_sec"`
-	PhaseAggSec map[string]float64 `json:"phase_agg_sec"`
-	Recovery    map[string]float64 `json:"recovery_sec"`
-	Counters    map[string]int64   `json:"counters,omitempty"`
-	CkptBytes   int64              `json:"ckpt_bytes"`
-	CkptFrames  int64              `json:"ckpt_frames"`
+	Job         string  `json:"job"`
+	Model       string  `json:"model"`
+	Ranks       int     `json:"ranks"`
+	Aborted     bool    `json:"aborted"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	FailedRanks []int   `json:"failed_ranks,omitempty"`
+	// MissingRanks lists launch ranks with no metrics (see MissingRanks()).
+	MissingRanks []int              `json:"missing_ranks,omitempty"`
+	PhaseMaxSec  map[string]float64 `json:"phase_max_sec"`
+	PhaseAggSec  map[string]float64 `json:"phase_agg_sec"`
+	Recovery     map[string]float64 `json:"recovery_sec"`
+	Counters     map[string]int64   `json:"counters,omitempty"`
+	CkptBytes    int64              `json:"ckpt_bytes"`
+	CkptFrames   int64              `json:"ckpt_frames"`
 }
 
 // Summary builds the JSON-friendly projection.
 func (r *Result) Summary() ResultSummary {
 	s := ResultSummary{
-		Job:         r.Spec.JobID,
-		Model:       r.Spec.Model.String(),
-		Ranks:       r.Spec.NumRanks,
-		Aborted:     r.Aborted,
-		ElapsedSec:  r.Elapsed().Seconds(),
-		FailedRanks: r.FailedRanks,
-		PhaseMaxSec: make(map[string]float64),
-		PhaseAggSec: make(map[string]float64),
-		Counters:    make(map[string]int64),
+		Job:          r.Spec.JobID,
+		Model:        r.Spec.Model.String(),
+		Ranks:        r.Spec.NumRanks,
+		Aborted:      r.Aborted,
+		ElapsedSec:   r.Elapsed().Seconds(),
+		FailedRanks:  r.FailedRanks,
+		MissingRanks: r.MissingRanks(),
+		PhaseMaxSec:  make(map[string]float64),
+		PhaseAggSec:  make(map[string]float64),
+		Counters:     make(map[string]int64),
 	}
 	for _, ph := range []Phase{PhaseInit, PhaseMap, PhaseShuffle, PhaseConvert, PhaseReduce, PhaseRecovery} {
 		if d := r.MaxPhase(ph); d > 0 {

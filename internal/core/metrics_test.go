@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// metricsFixture builds a Result with three rank slots: two populated, one
+// nil (rank 1 died before reporting).
+func metricsFixture() *Result {
+	m0 := newRankMetrics(0)
+	m0.PhaseTime[PhaseMap] = 4 * time.Second
+	m0.PhaseTime[PhaseReduce] = 1 * time.Second
+	m0.Recovery = RecoveryBreakdown{Init: 10 * time.Millisecond, LoadCkpt: 20 * time.Millisecond}
+	m0.Counters["words"] = 100
+	m0.CkptBytes = 1000
+	m0.CkptFrames = 10
+
+	m2 := newRankMetrics(2)
+	m2.PhaseTime[PhaseMap] = 6 * time.Second
+	m2.PhaseTime[PhaseRecovery] = 2 * time.Second
+	m2.Recovery = RecoveryBreakdown{Skip: 30 * time.Millisecond, Reprocess: 40 * time.Millisecond}
+	m2.Counters["words"] = 50
+	m2.CkptBytes = 500
+	m2.CkptFrames = 5
+
+	return &Result{
+		Spec:        Spec{JobID: "job", NumRanks: 3, Model: ModelDetectResumeWC},
+		Start:       1 * time.Second,
+		End:         11 * time.Second,
+		FailedRanks: []int{1},
+		Ranks:       []*RankMetrics{m0, nil, m2},
+	}
+}
+
+func TestMaxPhaseAndPhaseTotal(t *testing.T) {
+	r := metricsFixture()
+	if got := r.MaxPhase(PhaseMap); got != 6*time.Second {
+		t.Errorf("MaxPhase(map) = %v, want 6s", got)
+	}
+	if got := r.PhaseTotal(PhaseMap); got != 10*time.Second {
+		t.Errorf("PhaseTotal(map) = %v, want 10s", got)
+	}
+	// A phase only one rank ran.
+	if got := r.MaxPhase(PhaseReduce); got != 1*time.Second {
+		t.Errorf("MaxPhase(reduce) = %v, want 1s", got)
+	}
+	// A phase nobody ran.
+	if got := r.MaxPhase(PhaseShuffle); got != 0 {
+		t.Errorf("MaxPhase(shuffle) = %v, want 0", got)
+	}
+}
+
+func TestRecoveryTotal(t *testing.T) {
+	r := metricsFixture()
+	rb := r.RecoveryTotal()
+	want := RecoveryBreakdown{
+		Init:      10 * time.Millisecond,
+		LoadCkpt:  20 * time.Millisecond,
+		Skip:      30 * time.Millisecond,
+		Reprocess: 40 * time.Millisecond,
+	}
+	if rb != want {
+		t.Errorf("RecoveryTotal = %+v, want %+v", rb, want)
+	}
+	if rb.Total() != 100*time.Millisecond {
+		t.Errorf("Total = %v, want 100ms", rb.Total())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r := metricsFixture()
+	if got := r.Counter("words"); got != 150 {
+		t.Errorf("Counter(words) = %d, want 150", got)
+	}
+	if got := r.Counter("absent"); got != 0 {
+		t.Errorf("Counter(absent) = %d, want 0", got)
+	}
+}
+
+func TestMissingRanks(t *testing.T) {
+	r := metricsFixture()
+	if got := r.MissingRanks(); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("MissingRanks = %v, want [1]", got)
+	}
+	// All present -> nil.
+	full := &Result{Ranks: []*RankMetrics{newRankMetrics(0), newRankMetrics(1)}}
+	if got := full.MissingRanks(); got != nil {
+		t.Errorf("MissingRanks (all present) = %v, want nil", got)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	r := metricsFixture()
+	s := r.Summary()
+
+	if s.ElapsedSec != 10 {
+		t.Errorf("ElapsedSec = %v, want 10", s.ElapsedSec)
+	}
+	if !reflect.DeepEqual(s.MissingRanks, []int{1}) {
+		t.Errorf("Summary.MissingRanks = %v, want [1]", s.MissingRanks)
+	}
+	if s.CkptBytes != 1500 || s.CkptFrames != 15 {
+		t.Errorf("ckpt totals = (%d, %d), want (1500, 15)", s.CkptBytes, s.CkptFrames)
+	}
+	if s.PhaseMaxSec["map"] != 6 || s.PhaseAggSec["map"] != 10 {
+		t.Errorf("map phase = max %v agg %v, want 6/10", s.PhaseMaxSec["map"], s.PhaseAggSec["map"])
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ResultSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/kvbuf"
 	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
 )
 
@@ -64,6 +65,7 @@ type runner struct {
 	comm *mpi.Comm
 	p    *vtime.Proc
 	m    *RankMetrics
+	rec  *trace.Recorder // nil when tracing is disabled
 
 	world0    []int // world ranks participating at job start
 	tt        *taskTable
@@ -111,6 +113,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		comm:       c,
 		p:          c.Proc(),
 		m:          m,
+		rec:        c.Self().Recorder(),
 		world0:     world0,
 		nParts:     c.Size(),
 		partOwner:  append([]int(nil), world0...),
@@ -130,6 +133,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		local:   local,
 		pfs:     clus.PFS,
 		m:       m,
+		rec:     r.rec,
 	}
 	if local == nil {
 		r.ck.loc = LocDirectPFS
@@ -137,6 +141,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 	if r.ck.enabled && r.ck.loc == LocLocalCopier {
 		r.cp = startCopier(clus.Sim, fmt.Sprintf("copier-r%d-%s", c.Self().WorldRank(), spec.JobID),
 			spec.JobID, local, clus.PFS, c.Self().CPU(), m)
+		r.cp.rec = r.rec
 		r.ck.cp = r.cp
 		// The copier is a thread of the rank process: it dies with it, so
 		// un-drained local checkpoints are genuinely lost on failure.
@@ -149,6 +154,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		local:    local,
 		prefetch: spec.Prefetch && local != nil,
 		m:        m,
+		rec:      r.rec,
 		staged:   make(map[string]bool),
 	}
 	return r
@@ -183,6 +189,7 @@ func (r *runner) run() error {
 		ph := phaseNames[r.phase]
 		r.job.h.notifyPhase(r.myWorld(), ph)
 		t0 := r.p.Now()
+		r.rec.PhaseBegin(string(ph))
 		var err error
 		switch r.phase {
 		case phInit:
@@ -202,6 +209,7 @@ func (r *runner) run() error {
 			err = r.phaseReduce()
 		}
 		r.m.PhaseTime[ph] += r.p.Now() - t0
+		r.rec.PhaseEnd(string(ph))
 		if err != nil {
 			return err
 		}
@@ -339,6 +347,7 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 		}
 		if taskComplete {
 			r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds())
+			r.rec.TaskCommit("map", id, int64(restoredRecs))
 			return nil
 		}
 	}
@@ -460,6 +469,7 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 		r.ck.write(r.p, stream, fr, 1)
 	}
 	r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds())
+	r.rec.TaskCommit("map", id, int64(rec))
 	return nil
 }
 
@@ -796,6 +806,7 @@ func (r *runner) phaseReduce() error {
 				fr := encodeFrame(nil, frameReduce, uint32(part), g, lenBuf[:])
 				r.ck.write(r.p, partStream(part), fr, 1)
 			}
+			r.rec.TaskCommit("reduce", part, int64(g))
 			return nil
 		}
 		for {
@@ -828,8 +839,12 @@ func (r *runner) phaseReduce() error {
 // drErrHandler is the detect/resume error handler: the first rank to see a
 // process failure revokes the communicator, interrupting everyone (§4.2.1).
 func drErrHandler(c *mpi.Comm, err error) {
-	if mpi.IsProcFailed(err) && !c.Revoked() {
-		_ = c.Revoke()
+	var pf *mpi.ProcFailedError
+	if errors.As(err, &pf) {
+		c.Self().Recorder().FailureDetect(pf.Ranks)
+		if !c.Revoked() {
+			_ = c.Revoke()
+		}
 	}
 }
 
@@ -838,6 +853,12 @@ func drErrHandler(c *mpi.Comm, err error) {
 // phase index as far as the lost data requires (§4.2.2).
 func (r *runner) recoverDR() error {
 	t0 := r.p.Now()
+	// Every survivor passes through here exactly once per episode: record the
+	// detect→revoke observation before the shrink/agree steps the Shrink call
+	// emits, so each survivor's stream shows the full causal chain.
+	r.rec.RecoveryBegin()
+	r.rec.FailureDetect(nil)
+	r.rec.Revoke("observed")
 	newComm, err := r.comm.Shrink()
 	if err != nil {
 		return err
@@ -1021,6 +1042,7 @@ func (r *runner) recoverDR() error {
 	d := r.p.Now() - t0
 	r.m.Recovery.Init += d
 	r.m.PhaseTime[PhaseRecovery] += d
+	r.rec.RecoveryEnd()
 	return nil
 }
 
@@ -1064,6 +1086,7 @@ func (r *runner) reassign(lost []int, models []lbModel, weight func(int) float64
 	if len(lost) == 0 {
 		return
 	}
+	r.rec.LoadBalance("parts", len(lost), r.comm.Size())
 	var assignment [][]int
 	if r.spec.LoadBalance {
 		pieces := make([]float64, len(lost))
@@ -1089,6 +1112,7 @@ func (r *runner) redistributeTasks(lostIDs []int, models []lbModel, restorable b
 	if len(lostIDs) == 0 {
 		return
 	}
+	r.rec.LoadBalance("tasks", len(lostIDs), r.comm.Size())
 	sort.Ints(lostIDs)
 	var assignment [][]int
 	if r.spec.LoadBalance {
@@ -1308,6 +1332,7 @@ func (r *runner) resumePrepare() error {
 		return nil
 	}
 	t0 := r.p.Now()
+	r.rec.RecoveryBegin()
 	restoredAll := true
 	for _, part := range r.ownedParts() {
 		if r.job.clus.PFS.Exists(ckptPath(r.spec.JobID, partStream(part))) {
@@ -1324,5 +1349,6 @@ func (r *runner) resumePrepare() error {
 	r.shuffled = restoredAll
 	d := r.p.Now() - t0
 	r.m.PhaseTime[PhaseRecovery] += d
+	r.rec.RecoveryEnd()
 	return nil
 }

@@ -13,13 +13,20 @@ import (
 	"ftmrmpi/internal/mpi"
 )
 
+// inject records the injector's decision on the world trace track (if
+// tracing is on) and fires the kill.
+func inject(w *mpi.World, rank int) {
+	w.Clus.Trace.Global().FailureInject(rank)
+	w.Kill(rank)
+}
+
 // KillAt kills a world rank at an absolute virtual time.
 func KillAt(w *mpi.World, rank int, at time.Duration) {
 	d := at - w.Sim.Now()
 	if d < 0 {
 		d = 0
 	}
-	w.Sim.After(d, func() { w.Kill(rank) })
+	w.Sim.After(d, func() { inject(w, rank) })
 }
 
 // KillOnPhase kills a world rank the first time it enters the given phase,
@@ -31,7 +38,7 @@ func KillOnPhase(h *core.Handle, rank int, ph core.Phase, delay time.Duration) {
 			return
 		}
 		fired = true
-		h.Clus.Sim.After(delay, func() { h.World.Kill(rank) })
+		h.Clus.Sim.After(delay, func() { inject(h.World, rank) })
 	})
 }
 
@@ -53,7 +60,7 @@ func MTTF(w *mpi.World, mttf time.Duration, maxKills int, seed int64) {
 			if len(alive) <= 1 {
 				return
 			}
-			w.Kill(alive[rng.Intn(len(alive))])
+			inject(w, alive[rng.Intn(len(alive))])
 			killed++
 			if killed < maxKills {
 				arm()
@@ -79,7 +86,7 @@ func Continuous(w *mpi.World, interval time.Duration, maxKills int, seed int64) 
 			return
 		}
 		victim := alive[rng.Intn(len(alive))]
-		w.Kill(victim)
+		inject(w, victim)
 		killed++
 		if killed < maxKills {
 			w.Sim.After(interval, tick)

@@ -62,6 +62,10 @@ func prank(vr, root, n int) int { return (vr + root) % n }
 // Barrier blocks until every rank in the communicator has entered it. On
 // failure it raises an error through the error handler.
 func (c *Comm) Barrier() error {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("barrier")
+		defer rec.CollEnd("barrier")
+	}
 	seq := c.nextSeq()
 	if err := c.gatherTree(seq, 0, nil, nil); err != nil {
 		return c.raise(err)
@@ -75,6 +79,10 @@ func (c *Comm) Barrier() error {
 // Bcast distributes root's data to every rank and returns it. All ranks
 // must pass the same root; non-root ranks' data argument is ignored.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("bcast")
+		defer rec.CollEnd("bcast")
+	}
 	seq := c.nextSeq()
 	out, err := c.bcastTree(seq, root, data)
 	return out, c.raise(err)
@@ -102,6 +110,10 @@ func (c *Comm) bcastTree(seq, root int, data []byte) ([]byte, error) {
 // Gather collects each rank's data at root. At root, the returned slice is
 // indexed by communicator rank; other ranks get nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("gather")
+		defer rec.CollEnd("gather")
+	}
 	seq := c.nextSeq()
 	var out [][]byte
 	if c.rank == root {
@@ -146,6 +158,10 @@ func (c *Comm) gatherTree(seq, root int, data []byte, out [][]byte) error {
 // Allgather collects every rank's data on every rank, indexed by
 // communicator rank.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("allgather")
+		defer rec.CollEnd("allgather")
+	}
 	seq := c.nextSeq()
 	n := c.Size()
 	var gathered [][]byte
@@ -189,6 +205,10 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 // AllreduceInt64 folds one int64 per rank with op (associative and
 // commutative) and returns the result on every rank.
 func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) (int64, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("allreduce")
+		defer rec.CollEnd("allreduce")
+	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
 	all, err := c.Allgather(buf[:])
@@ -222,6 +242,10 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 	n := c.Size()
 	if len(bufs) != n {
 		return nil, fmt.Errorf("mpi: Alltoallv needs %d buffers, got %d", n, len(bufs))
+	}
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("alltoallv")
+		defer rec.CollEnd("alltoallv")
 	}
 	seq := c.nextSeq()
 	out := make([][]byte, n)

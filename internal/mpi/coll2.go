@@ -11,6 +11,10 @@ import (
 // ReduceInt64 folds one int64 per rank with op at root. Non-root ranks
 // receive 0.
 func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("reduce")
+		defer rec.CollEnd("reduce")
+	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
 	all, err := c.Gather(root, buf[:])
@@ -34,6 +38,10 @@ func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64,
 // caller's piece. Non-root ranks pass nil. It runs over the same binomial
 // tree as Bcast, forwarding each subtree's bundle.
 func (c *Comm) Scatter(root int, data [][]byte) ([]byte, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("scatter")
+		defer rec.CollEnd("scatter")
+	}
 	seq := c.nextSeq()
 	out, err := c.scatterTree(seq, root, data)
 	return out, c.raise(err)
@@ -91,6 +99,10 @@ func subtreeRanks(vr, n int) []int {
 // ScanInt64 computes the inclusive prefix reduction: rank i receives
 // op(v₀, …, vᵢ). Implemented as a ring pass.
 func (c *Comm) ScanInt64(v int64, op func(a, b int64) int64) (int64, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("scan")
+		defer rec.CollEnd("scan")
+	}
 	seq := c.nextSeq()
 	acc := v
 	var buf [8]byte
@@ -162,6 +174,10 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 // (MPI_UNDEFINED) yields a nil communicator. Collective over all live
 // ranks.
 func (c *Comm) Split(color, key int) (*Comm, error) {
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("split")
+		defer rec.CollEnd("split")
+	}
 	var buf [16]byte
 	binary.BigEndian.PutUint64(buf[:8], uint64(int64(color)))
 	binary.BigEndian.PutUint64(buf[8:], uint64(int64(key)))

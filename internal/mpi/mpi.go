@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
 )
 
@@ -92,7 +93,13 @@ type Rank struct {
 	cpu   *vtime.Bandwidth
 	node  *cluster.Node
 	alive bool
+	// rec is the rank's trace recorder; nil when tracing is disabled, so
+	// every hot-path instrumentation point costs a single nil branch.
+	rec *trace.Recorder
 }
+
+// Recorder returns the rank's trace recorder (nil when tracing is off).
+func (r *Rank) Recorder() *trace.Recorder { return r.rec }
 
 // Proc returns the rank's simulated process.
 func (r *Rank) Proc() *vtime.Proc { return r.proc }
@@ -176,7 +183,8 @@ func Launch(clus *cluster.Cluster, n int, main func(c *Comm)) *World {
 	st := w.newCommState(group)
 	for i := 0; i < n; i++ {
 		i := i
-		r := &Rank{w: w, world: i, cpu: clus.CoreOf(i), node: clus.NodeOf(i), alive: true}
+		r := &Rank{w: w, world: i, cpu: clus.CoreOf(i), node: clus.NodeOf(i), alive: true,
+			rec: clus.Trace.Rank(i)}
 		w.ranks = append(w.ranks, r)
 		r.proc = clus.Sim.Spawn(fmt.Sprintf("rank%d", i), func(p *vtime.Proc) {
 			defer func() { w.done++ }()
@@ -223,6 +231,7 @@ func (w *World) noteFailure(worldRank int) {
 		return
 	}
 	r.alive = false
+	r.rec.FailureKill(worldRank)
 	for _, st := range w.comms {
 		st.onFailure(worldRank)
 	}
@@ -391,6 +400,10 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 	if !st.w.ranks[dworld].alive {
 		return &ProcFailedError{Ranks: []int{dworld}}
 	}
+	if rec := c.r.rec; rec != nil {
+		rec.SendBegin(dworld, tag, len(data))
+		defer rec.SendEnd(dworld, tag, len(data))
+	}
 	c.r.proc.Sleep(c.transferCost(len(data)))
 	if st.w.aborted {
 		return ErrAborted
@@ -451,12 +464,24 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 	if st.revoked {
 		return nil, ErrRevoked
 	}
+	rec := c.r.rec
+	srcWorld := AnySource
+	if rec != nil && src != AnySource {
+		srcWorld = st.group[src]
+	}
 	box := st.boxes[c.rank]
 	if m := box.matchBuffered(src, tag); m != nil {
+		if rec != nil {
+			rec.RecvBegin(srcWorld, tag)
+			rec.RecvEnd(srcWorld, tag, len(m.Data))
+		}
 		return m, nil
 	}
 	if err := c.failedSourceErr(src); err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		rec.RecvBegin(srcWorld, tag)
 	}
 	rw := &recvWait{p: c.r.proc, src: src, tag: tag}
 	box.waiters = append(box.waiters, rw)
@@ -464,11 +489,20 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 		c.r.proc.Park()
 		if st.w.aborted && !rw.done {
 			box.unwait(rw)
+			if rec != nil {
+				rec.RecvEnd(srcWorld, tag, 0)
+			}
 			return nil, ErrAborted
 		}
 	}
 	if rw.err != nil {
+		if rec != nil {
+			rec.RecvEnd(srcWorld, tag, 0)
+		}
 		return nil, rw.err
+	}
+	if rec != nil {
+		rec.RecvEnd(srcWorld, tag, len(rw.msg.Data))
 	}
 	return rw.msg, nil
 }
@@ -481,6 +515,14 @@ func (c *Comm) TryRecv(src, tag int) (*Message, bool, error) {
 		return nil, false, c.raise(ErrRevoked)
 	}
 	if m := st.boxes[c.rank].matchBuffered(src, tag); m != nil {
+		if rec := c.r.rec; rec != nil {
+			srcWorld := AnySource
+			if src != AnySource {
+				srcWorld = st.group[src]
+			}
+			rec.RecvBegin(srcWorld, tag)
+			rec.RecvEnd(srcWorld, tag, len(m.Data))
+		}
 		return m, true, nil
 	}
 	return nil, false, nil
@@ -527,6 +569,10 @@ func (c *Comm) Dup() (*Comm, error) {
 	// ranks find it by (parent communicator, per-rank duplication epoch) —
 	// every rank performs the same sequence of Dup calls on a communicator,
 	// so the epochs agree. A barrier provides the synchronization point.
+	if rec := c.r.rec; rec != nil {
+		rec.CollBegin("dup")
+		defer rec.CollEnd("dup")
+	}
 	if err := c.Barrier(); err != nil {
 		return nil, err
 	}

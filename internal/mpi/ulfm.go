@@ -28,6 +28,7 @@ func (c *Comm) Revoke() error {
 	if st.revoked {
 		return nil
 	}
+	c.r.rec.Revoke("initiate")
 	st.revoked = true
 	// Model the revoke packet flood: the revoking rank pays one message
 	// latency; everyone blocked on the comm is interrupted.
@@ -93,6 +94,7 @@ type shrinkWait struct {
 // valid only for Shrink/Agree.
 func (c *Comm) Shrink() (*Comm, error) {
 	st := c.st
+	c.r.rec.ShrinkBegin(len(st.group))
 	if st.shrink == nil || st.shrink.done {
 		st.shrink = &shrinkOp{arrived: make(map[int]bool)}
 	}
@@ -105,9 +107,12 @@ func (c *Comm) Shrink() (*Comm, error) {
 		c.r.proc.Park()
 	}
 	// Agreement cost: a few log₂(P) latency rounds.
+	c.r.rec.AgreeBegin(0)
 	rounds := 2 * int(math.Ceil(math.Log2(float64(len(st.group))+1)))
 	c.r.proc.Sleep(time.Duration(rounds) * st.w.Clus.Cfg.NICLatency)
+	c.r.rec.AgreeEnd(0)
 	newRank := op.newSt.commRankOf(c.r.world)
+	c.r.rec.ShrinkEnd(len(op.newSt.group))
 	return &Comm{st: op.newSt, rank: newRank, r: c.r}, nil
 }
 
@@ -173,6 +178,7 @@ type agreeWait struct {
 // processes fail during the operation.
 func (c *Comm) Agree(flag int) (int, error) {
 	st := c.st
+	c.r.rec.AgreeBegin(flag)
 	if st.agree == nil || st.agree.done {
 		st.agree = &agreeOp{arrived: make(map[int]bool), flags: ^0}
 	}
@@ -187,6 +193,7 @@ func (c *Comm) Agree(flag int) (int, error) {
 	}
 	rounds := 2 * int(math.Ceil(math.Log2(float64(len(st.group))+1)))
 	c.r.proc.Sleep(time.Duration(rounds) * st.w.Clus.Cfg.NICLatency)
+	c.r.rec.AgreeEnd(w.result)
 	return w.result, nil
 }
 

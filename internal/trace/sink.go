@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Sinks. The in-memory sink is the Tracer itself (Events / EventsFor); this
+// file adds the two serialized forms: a JSONL stream (one event per line,
+// trivially greppable and diffable across runs) and the Chrome trace_event
+// format, which Perfetto and chrome://tracing open directly — one process
+// track per rank (main thread + copier thread), nested B/E spans for
+// phases, collectives and point-to-point calls, instants for commits and
+// decisions, and async spans for recovery episodes.
+
+// jsonlEvent is the JSONL wire form of one Event.
+type jsonlEvent struct {
+	Seq  uint64  `json:"seq"`
+	VTus float64 `json:"vt_us"`
+	Rank int     `json:"rank"`
+	Kind string  `json:"kind"`
+	Name string  `json:"name,omitempty"`
+	A    int64   `json:"a,omitempty"`
+	B    int64   `json:"b,omitempty"`
+	C    int64   `json:"c,omitempty"`
+}
+
+// WriteJSONL writes every retained event as one JSON object per line, in
+// causal order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		je := jsonlEvent{
+			Seq:  ev.Seq,
+			VTus: float64(ev.VT) / 1e3,
+			Rank: ev.Rank,
+			Kind: ev.Kind.String(),
+			Name: ev.Name,
+			A:    ev.A,
+			B:    ev.B,
+			C:    ev.C,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event constants.
+const (
+	chromeTidMain   = 1
+	chromeTidCopier = 2
+	// chromeWorldPID is the pseudo-pid of the GlobalRank track.
+	chromeWorldPID = 1 << 20
+)
+
+// chromeEvent is one trace_event record (the subset of fields we emit).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    int            `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func chromePID(rank int) int {
+	if rank == GlobalRank {
+		return chromeWorldPID
+	}
+	return rank
+}
+
+// chromeKindTID maps an event kind to the thread track it renders on.
+func chromeKindTID(k Kind) int {
+	if k == KindCopierDrain {
+		return chromeTidCopier
+	}
+	return chromeTidMain
+}
+
+// WriteChrome writes the retained events in Chrome trace_event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	var out []chromeEvent
+
+	// Track metadata: one "process" per rank, named threads.
+	for _, rank := range t.Ranks() {
+		pid := chromePID(rank)
+		pname := fmt.Sprintf("rank %d", rank)
+		if rank == GlobalRank {
+			pname = "world"
+		}
+		out = append(out,
+			chromeEvent{Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]any{"name": pname}},
+			chromeEvent{Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]any{"sort_index": pid}},
+			chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: chromeTidMain,
+				Args: map[string]any{"name": "main"}},
+			chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: chromeTidCopier,
+				Args: map[string]any{"name": "copier"}},
+		)
+	}
+
+	span := func(ev Event, ph, cat, name string, args map[string]any) chromeEvent {
+		return chromeEvent{
+			Name: name, Cat: cat, Ph: ph,
+			TS:  float64(ev.VT) / 1e3,
+			PID: chromePID(ev.Rank), TID: chromeKindTID(ev.Kind),
+			Args: args,
+		}
+	}
+	instant := func(ev Event, cat, name string, args map[string]any) chromeEvent {
+		e := span(ev, "i", cat, name, args)
+		e.Scope = "t"
+		return e
+	}
+
+	// Async recovery ids: one per (rank, episode).
+	asyncID := 0
+	openRecovery := make(map[int]int)
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindPhaseBegin:
+			out = append(out, span(ev, "B", "phase", "phase:"+ev.Name, nil))
+		case KindPhaseEnd:
+			out = append(out, span(ev, "E", "phase", "phase:"+ev.Name, nil))
+		case KindSendBegin, KindSendEnd:
+			ph := "B"
+			if ev.Kind == KindSendEnd {
+				ph = "E"
+			}
+			out = append(out, span(ev, ph, "p2p", fmt.Sprintf("send->w%d", ev.A),
+				map[string]any{"peer": ev.A, "tag": ev.B, "bytes": ev.C}))
+		case KindRecvBegin, KindRecvEnd:
+			ph := "B"
+			if ev.Kind == KindRecvEnd {
+				ph = "E"
+			}
+			peer := "any"
+			if ev.A >= 0 {
+				peer = fmt.Sprintf("w%d", ev.A)
+			}
+			out = append(out, span(ev, ph, "p2p", "recv<-"+peer,
+				map[string]any{"peer": ev.A, "tag": ev.B, "bytes": ev.C}))
+		case KindCollBegin:
+			out = append(out, span(ev, "B", "coll", "coll:"+ev.Name, nil))
+		case KindCollEnd:
+			out = append(out, span(ev, "E", "coll", "coll:"+ev.Name, nil))
+		case KindCkptCommit:
+			out = append(out, instant(ev, "ckpt", "ckpt:"+ev.Name,
+				map[string]any{"bytes": ev.A, "frames": ev.B}))
+		case KindCopierDrain:
+			out = append(out, instant(ev, "ckpt", "drain:"+ev.Name,
+				map[string]any{"bytes": ev.A}))
+		case KindCkptLoad:
+			out = append(out, instant(ev, "ckpt", "load:"+ev.Name,
+				map[string]any{"bytes": ev.A, "frames": ev.B}))
+		case KindFailureInject:
+			out = append(out, instant(ev, "failure", fmt.Sprintf("inject:w%d", ev.A), nil))
+		case KindFailureKill:
+			out = append(out, instant(ev, "failure", fmt.Sprintf("kill:w%d", ev.A), nil))
+		case KindFailureDetect:
+			out = append(out, instant(ev, "failure", "detect",
+				map[string]any{"rank": ev.A, "count": ev.B}))
+		case KindRevoke:
+			out = append(out, instant(ev, "ulfm", "revoke:"+ev.Name, nil))
+		case KindShrinkBegin:
+			out = append(out, span(ev, "B", "ulfm", "shrink",
+				map[string]any{"group": ev.A}))
+		case KindShrinkEnd:
+			out = append(out, span(ev, "E", "ulfm", "shrink",
+				map[string]any{"survivors": ev.A}))
+		case KindAgreeBegin:
+			out = append(out, span(ev, "B", "ulfm", "agree", nil))
+		case KindAgreeEnd:
+			out = append(out, span(ev, "E", "ulfm", "agree", nil))
+		case KindLoadBalance:
+			out = append(out, instant(ev, "runner", "lb:"+ev.Name,
+				map[string]any{"pieces": ev.A, "survivors": ev.B}))
+		case KindTaskCommit:
+			out = append(out, instant(ev, "runner", fmt.Sprintf("commit:%s:%d", ev.Name, ev.A),
+				map[string]any{"count": ev.B}))
+		case KindRecoveryBegin:
+			asyncID++
+			openRecovery[ev.Rank] = asyncID
+			e := span(ev, "b", "recovery", "recovery", nil)
+			e.ID = asyncID
+			out = append(out, e)
+		case KindRecoveryEnd:
+			id := openRecovery[ev.Rank]
+			if id == 0 {
+				continue // begin lost to ring overflow
+			}
+			delete(openRecovery, ev.Rank)
+			e := span(ev, "e", "recovery", "recovery", nil)
+			e.ID = id
+			out = append(out, e)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path in the given format ("jsonl" or
+// "chrome").
+func (t *Tracer) WriteFile(path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "jsonl":
+		err = t.WriteJSONL(f)
+	case "chrome":
+		err = t.WriteChrome(f)
+	default:
+		err = fmt.Errorf("trace: unknown format %q (jsonl|chrome)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,130 @@
+package trace
+
+import "time"
+
+// Summarize derives the aggregate accounting the runner keeps by hand
+// (RankMetrics phase/recovery totals, checkpoint volume) from the raw event
+// stream, so the two bookkeeping paths can be cross-checked against each
+// other: the hand-maintained counters say *how much*, the events say *when*,
+// and they must agree.
+
+// RankSummary is the per-rank aggregate derived from events.
+type RankSummary struct {
+	Rank int
+
+	// Phase sums matched phase.begin/phase.end pairs per phase name. A
+	// begin with no end (the rank died mid-phase) contributes nothing —
+	// mirroring the runner, which only accumulates on phase exit.
+	Phase map[string]time.Duration
+
+	// Recoveries counts recovery episodes; RecoveryTime sums their spans.
+	Recoveries   int
+	RecoveryTime time.Duration
+
+	// Point-to-point and collective activity.
+	Sends, Recvs         int64
+	SendBytes, RecvBytes int64
+	CollTime             time.Duration // top-level collective spans only
+
+	// Checkpoint activity.
+	CkptBytes, CkptFrames           int64
+	CopierBytes                     int64
+	RecoveredBytes, RecoveredFrames int64
+
+	TaskCommits int64
+}
+
+// Summary is the full derivation over an event stream.
+type Summary struct {
+	Ranks map[int]*RankSummary
+}
+
+// Rank returns (creating if needed) a rank's summary.
+func (s *Summary) Rank(rank int) *RankSummary {
+	rs, ok := s.Ranks[rank]
+	if !ok {
+		rs = &RankSummary{Rank: rank, Phase: make(map[string]time.Duration)}
+		s.Ranks[rank] = rs
+	}
+	return rs
+}
+
+// Summarize folds an event stream (as returned by Tracer.Events, i.e. in
+// causal order) into per-rank aggregates.
+func Summarize(events []Event) *Summary {
+	s := &Summary{Ranks: make(map[int]*RankSummary)}
+
+	type openState struct {
+		phaseStart    map[string]time.Duration
+		phaseOpen     map[string]bool
+		recoveryStart time.Duration
+		recoveryOpen  bool
+		collDepth     int
+		collStart     time.Duration
+	}
+	open := make(map[int]*openState)
+	stateOf := func(rank int) *openState {
+		st, ok := open[rank]
+		if !ok {
+			st = &openState{
+				phaseStart: make(map[string]time.Duration),
+				phaseOpen:  make(map[string]bool),
+			}
+			open[rank] = st
+		}
+		return st
+	}
+
+	for _, ev := range events {
+		rs := s.Rank(ev.Rank)
+		st := stateOf(ev.Rank)
+		switch ev.Kind {
+		case KindPhaseBegin:
+			st.phaseStart[ev.Name] = ev.VT
+			st.phaseOpen[ev.Name] = true
+		case KindPhaseEnd:
+			if st.phaseOpen[ev.Name] {
+				rs.Phase[ev.Name] += ev.VT - st.phaseStart[ev.Name]
+				st.phaseOpen[ev.Name] = false
+			}
+		case KindRecoveryBegin:
+			st.recoveryStart = ev.VT
+			st.recoveryOpen = true
+		case KindRecoveryEnd:
+			if st.recoveryOpen {
+				rs.Recoveries++
+				rs.RecoveryTime += ev.VT - st.recoveryStart
+				st.recoveryOpen = false
+			}
+		case KindSendEnd:
+			rs.Sends++
+			rs.SendBytes += ev.C
+		case KindRecvEnd:
+			rs.Recvs++
+			rs.RecvBytes += ev.C
+		case KindCollBegin:
+			if st.collDepth == 0 {
+				st.collStart = ev.VT
+			}
+			st.collDepth++
+		case KindCollEnd:
+			if st.collDepth > 0 {
+				st.collDepth--
+				if st.collDepth == 0 {
+					rs.CollTime += ev.VT - st.collStart
+				}
+			}
+		case KindCkptCommit:
+			rs.CkptBytes += ev.A
+			rs.CkptFrames += ev.B
+		case KindCopierDrain:
+			rs.CopierBytes += ev.A
+		case KindCkptLoad:
+			rs.RecoveredBytes += ev.A
+			rs.RecoveredFrames += ev.B
+		case KindTaskCommit:
+			rs.TaskCommits++
+		}
+	}
+	return s
+}
