@@ -2,11 +2,11 @@ GO ?= go
 
 # `make check` is the tier-1 gate (referenced from ROADMAP.md): static
 # checks, a full build, the race detector over the internals, the whole
-# test suite, and the tracer-overhead benchmark that keeps the disabled
-# instrumentation path at one-branch cost.
-.PHONY: check vet build test race bench-overhead
+# test suite, a short fuzz of the checkpoint codecs, and the tracer-overhead
+# benchmark that keeps the disabled instrumentation path at one-branch cost.
+.PHONY: check vet build test race fuzz-smoke bench-overhead
 
-check: vet build race test bench-overhead
+check: vet build race test fuzz-smoke bench-overhead
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,10 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 5s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeState$$' -fuzztime 5s
 
 bench-overhead:
 	$(GO) test ./internal/trace -run '^$$' -bench TracerOverhead -benchmem

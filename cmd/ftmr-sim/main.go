@@ -56,6 +56,11 @@ func main() {
 		tracePath = flag.String("trace", "", "write an event trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace format: jsonl | chrome")
 		traceCap  = flag.Int("trace-cap", 1<<16, "per-rank trace ring capacity (events)")
+		chaos     = flag.Int("chaos", 0, "chaos mode: random kills (plus one aimed inside recovery)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for chaos kills and storage faults")
+		chaosWin  = flag.Duration("chaos-window", 2*time.Second, "virtual-time window for chaos kills")
+		stFaults  = flag.Bool("storage-faults", false, "inject seeded storage faults (torn writes, bit flips, read errors)")
+		streamTo  = flag.String("trace-stream", "", "stream JSONL events (write-through) to this file during the run")
 	)
 	flag.Parse()
 
@@ -78,8 +83,18 @@ func main() {
 		}
 		return cluster.New(cfg)
 	}()
-	if *tracePath != "" {
+	if *tracePath != "" || *streamTo != "" {
 		clus.Trace = trace.New(clus.Sim, *traceCap)
+	}
+	var streamFile *os.File
+	if *streamTo != "" {
+		f, err := os.Create(*streamTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace stream: %v\n", err)
+			os.Exit(1)
+		}
+		streamFile = f
+		clus.Trace.StreamJSONL(f)
 	}
 
 	base := core.Spec{
@@ -129,7 +144,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *stFaults {
+		// Attach after input generation so the corpus itself is pristine;
+		// everything the job reads and writes from here on can fault.
+		failure.StorageFaults(clus, *chaosSeed)
+	}
 	switch {
+	case *chaos > 0:
+		failure.Chaos(h, *chaosSeed, *chaos, *chaosWin)
 	case *kills > 0:
 		failure.Continuous(h.World, *killEvery, *kills, 1)
 	case *killPhase != "":
@@ -173,6 +195,26 @@ func main() {
 		report(h2.Result())
 	}
 
+	if *stFaults {
+		s := clus.PFS.Faults.Stats
+		for _, n := range clus.Nodes {
+			if n.Local != nil && n.Local.Faults != nil {
+				s.TornWrites += n.Local.Faults.Stats.TornWrites
+				s.BitFlips += n.Local.Faults.Stats.BitFlips
+				s.ReadErrors += n.Local.Faults.Stats.ReadErrors
+			}
+		}
+		fmt.Fprintf(os.Stderr, "storage faults injected: torn=%d bitflip=%d readerr=%d\n",
+			s.TornWrites, s.BitFlips, s.ReadErrors)
+	}
+	if streamFile != nil {
+		if err := clus.Trace.FlushStream(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace stream: %v\n", err)
+			os.Exit(1)
+		}
+		_ = streamFile.Close()
+		fmt.Fprintf(os.Stderr, "trace streamed to %s (jsonl)\n", *streamTo)
+	}
 	if *tracePath != "" {
 		if err := clus.Trace.WriteFile(*tracePath, *traceFmt); err != nil {
 			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)

@@ -2,7 +2,10 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"time"
 
 	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/trace"
@@ -32,38 +35,87 @@ type frame struct {
 	payload []byte
 }
 
+// frameHdrLen is the fixed wire header size:
+// [kind u8][a u32][b u32][len u32][crc u32].
+const frameHdrLen = 17
+
+// maxFramePayload bounds a declared payload length. Nothing legitimate comes
+// close (the largest frames carry one partition's KV); a length beyond this
+// is garbage even if the stream happens to be long enough to satisfy it.
+const maxFramePayload = 1 << 30
+
 // encodeFrame appends the frame's wire form to dst:
-// [kind u8][a u32][b u32][len u32][payload].
+// [kind u8][a u32][b u32][len u32][crc u32][payload], where crc is CRC-32
+// (IEEE) over the first 13 header bytes followed by the payload — so a bit
+// flip anywhere in the frame (including the length or the CRC field itself)
+// is detectable at read time.
 func encodeFrame(dst []byte, kind byte, a, b uint32, payload []byte) []byte {
-	var hdr [13]byte
+	var hdr [frameHdrLen]byte
 	hdr[0] = kind
 	binary.LittleEndian.PutUint32(hdr[1:5], a)
 	binary.LittleEndian.PutUint32(hdr[5:9], b)
 	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:13])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(hdr[13:17], crc)
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
 }
 
-// decodeFrames parses a stream, tolerating a truncated trailing frame
-// (which a mid-copy failure can leave behind).
-func decodeFrames(data []byte) []frame {
-	var out []frame
-	for len(data) >= 13 {
-		kind := data[0]
-		a := binary.LittleEndian.Uint32(data[1:5])
-		b := binary.LittleEndian.Uint32(data[5:9])
-		l := int(binary.LittleEndian.Uint32(data[9:13]))
-		if len(data) < 13+l {
-			break
-		}
-		out = append(out, frame{kind: kind, a: a, b: b, payload: data[13 : 13+l : 13+l]})
-		data = data[13+l:]
-	}
-	return out
+// decodeFrames parses a stream and returns its valid frames. The error is
+// non-nil when trailing bytes do not form a complete, checksummed frame —
+// a torn tail, a corrupted frame, or garbage. WAL semantics: the returned
+// frames are always the longest valid prefix, usable even when err != nil.
+func decodeFrames(data []byte) ([]frame, error) {
+	out, _, err := decodeFramesPrefix(data)
+	return out, err
 }
 
-// countFrames returns the number of complete frames in a stream.
-func countFrames(data []byte) int { return len(decodeFrames(data)) }
+// decodeFramesPrefix parses the longest valid frame prefix of data,
+// returning the decoded frames, the number of bytes they occupy, and a
+// non-nil error describing the first invalid byte range (if any).
+func decodeFramesPrefix(data []byte) ([]frame, int, error) {
+	var out []frame
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHdrLen {
+			return out, off, fmt.Errorf("core: frame %d at offset %d: short header (%d of %d bytes)",
+				len(out), off, len(rest), frameHdrLen)
+		}
+		kind := rest[0]
+		if kind < frameMapDelta || kind > frameReduce {
+			return out, off, fmt.Errorf("core: frame %d at offset %d: bad kind %d", len(out), off, kind)
+		}
+		a := binary.LittleEndian.Uint32(rest[1:5])
+		b := binary.LittleEndian.Uint32(rest[5:9])
+		l := int(binary.LittleEndian.Uint32(rest[9:13]))
+		if l > maxFramePayload {
+			return out, off, fmt.Errorf("core: frame %d at offset %d: implausible payload length %d",
+				len(out), off, l)
+		}
+		if len(rest) < frameHdrLen+l {
+			return out, off, fmt.Errorf("core: frame %d at offset %d: truncated payload (%d of %d bytes)",
+				len(out), off, len(rest)-frameHdrLen, l)
+		}
+		want := binary.LittleEndian.Uint32(rest[13:17])
+		crc := crc32.ChecksumIEEE(rest[:13])
+		crc = crc32.Update(crc, crc32.IEEETable, rest[frameHdrLen:frameHdrLen+l])
+		if crc != want {
+			return out, off, fmt.Errorf("core: frame %d at offset %d: CRC mismatch (got %08x, want %08x)",
+				len(out), off, crc, want)
+		}
+		out = append(out, frame{kind: kind, a: a, b: b, payload: rest[frameHdrLen : frameHdrLen+l : frameHdrLen+l]})
+		off += frameHdrLen + l
+	}
+	return out, off, nil
+}
+
+// countFrames returns the number of valid frames in a stream.
+func countFrames(data []byte) int {
+	fs, _ := decodeFrames(data)
+	return len(fs)
+}
 
 // ckptPath returns the PFS/local-relative path of a stream.
 func ckptPath(jobID, stream string) string {
@@ -188,7 +240,23 @@ func (cp *copier) copyStream(p *vtime.Proc, stream string) {
 	t0 := p.Now()
 	cp.cpu.Acquire(p, cpuSec)
 	cp.metrics.CPUCopier += p.Now() - t0
-	cp.metrics.CopierIO += cp.pfs.AppendFile(p, path, delta, 1)
+	// A torn PFS append would leave a partial frame at the durable tail; roll
+	// back to the pre-append length and retry so the drained stream never
+	// carries a torn frame boundary.
+	pre := cp.pfs.Size(path)
+	d, err := cp.pfs.AppendFile(p, path, delta, 1)
+	cp.metrics.CopierIO += d
+	for attempt := 0; err != nil && attempt < 3; attempt++ {
+		cp.pfs.Truncate(path, pre)
+		d, err = cp.pfs.AppendFile(p, path, delta, 1)
+		cp.metrics.CopierIO += d
+	}
+	if err != nil {
+		// Give up on this delta (clean rollback, no durability advance); a
+		// later drain of the stream retries the whole suffix.
+		cp.pfs.Truncate(path, pre)
+		return
+	}
 	cp.copied[stream] = total
 	cp.rec.CopierDrain(stream, len(delta))
 }
@@ -244,13 +312,32 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 	w.m.CkptBytes += int64(len(data))
 	w.rec.CkptCommit(stream, len(data), frames)
 	if w.loc == LocLocalCopier && w.local != nil {
-		w.m.IOWait += w.local.AppendFile(p, path, data, frames)
+		w.m.IOWait += appendRepair(p, w.local, path, data, frames)
 		w.cp.enqueue(stream)
 		return
 	}
 	// Direct to PFS: every frame is a distinct small operation against the
 	// shared file system (§4.1.3's slow path).
-	w.m.IOWait += w.pfs.AppendFile(p, path, data, frames)
+	w.m.IOWait += appendRepair(p, w.pfs, path, data, frames)
+}
+
+// appendRepair appends data to path on t, rolling back and retrying torn
+// appends so a stream never accumulates a torn frame boundary mid-file.
+// Silent bit flips are left in place — the frame CRC catches them at read
+// time. If the append keeps tearing, the frame is dropped cleanly (reduced
+// checkpoint coverage, never a corrupt stream).
+func appendRepair(p *vtime.Proc, t *storage.Tier, path string, data []byte, ops int) time.Duration {
+	var total time.Duration
+	for attempt := 0; attempt < 4; attempt++ {
+		pre := t.Size(path)
+		d, err := t.AppendFile(p, path, data, ops)
+		total += d
+		if err == nil {
+			return total
+		}
+		t.Truncate(path, pre)
+	}
+	return total
 }
 
 // phaseSync waits for the copier to drain (checkpoint consistency point at
@@ -278,47 +365,77 @@ type ckptReader struct {
 // load returns the decoded frames of a stream, charging recovery I/O. With
 // prefetching (§5.1) the stream is first staged to the local disk in one
 // bulk PFS read, then replayed from local storage; without it, every frame
-// is a separate small PFS read.
+// is a separate small PFS read. Transient read faults are retried; a torn
+// tail or corrupted frame is quarantined WAL-style: the master copy is
+// truncated to its longest valid prefix (so later readers replay only good
+// frames) and the lost tail's work is simply redone by the caller.
 func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 	path := ckptPath(r.jobID, stream)
 	if !r.pfs.Exists(path) {
 		return nil
 	}
-	r.m.RecoveredBytes += int64(r.pfs.Size(path))
-	r.m.RecoveredFrames += int64(countFrames(mustPeek(r.pfs, path)))
-	r.rec.CkptLoad(stream, r.pfs.Size(path), countFrames(mustPeek(r.pfs, path)))
+	var raw []byte
 	if r.prefetch && r.local != nil {
 		if !r.staged[stream] {
-			data, d, err := r.pfs.ReadFile(p, path)
-			r.m.Recovery.LoadCkpt += d
-			if err != nil {
+			data, ok := readRetry(p, r.pfs, path, &r.m.Recovery.LoadCkpt)
+			if !ok {
 				return nil
 			}
-			r.m.Recovery.LoadCkpt += r.local.WriteFile(p, "stage/"+path, data)
+			for attempt := 0; ; attempt++ {
+				d, werr := r.local.WriteFile(p, "stage/"+path, data)
+				r.m.Recovery.LoadCkpt += d
+				if werr == nil || attempt >= 2 {
+					break
+				}
+			}
 			r.staged[stream] = true
 		}
-		data, d, err := r.local.ReadFile(p, "stage/"+path)
-		r.m.Recovery.LoadCkpt += d
+		data, ok := readRetry(p, r.local, "stage/"+path, &r.m.Recovery.LoadCkpt)
+		if !ok {
+			return nil
+		}
+		raw = data
+	} else {
+		data, err := r.pfs.Peek(path)
 		if err != nil {
 			return nil
 		}
-		return decodeFrames(data)
+		raw = data
 	}
-	// Direct PFS replay: charge one operation per frame.
-	raw, err := r.pfs.Peek(path)
+	frames, consumed, err := decodeFramesPrefix(raw)
 	if err != nil {
-		return nil
+		// Quarantine everything from the first bad frame on. Replaying a
+		// partially-corrupt suffix would inject garbage state; dropping it
+		// only costs rework, which the recovery path already handles for
+		// streams that never became durable at all.
+		r.rec.CkptCorrupt(stream, consumed, len(raw))
+		r.m.Counters["ckpt_corrupt"]++
+		r.pfs.Truncate(path, consumed)
+		if r.local != nil && r.staged[stream] {
+			r.local.Truncate("stage/"+path, consumed)
+		}
 	}
-	frames := decodeFrames(raw)
-	r.m.Recovery.LoadCkpt += r.pfs.Charge(p, len(frames), len(raw))
+	if !r.prefetch || r.local == nil {
+		// Direct PFS replay: charge one operation per frame.
+		r.m.Recovery.LoadCkpt += r.pfs.Charge(p, len(frames), consumed)
+	}
+	r.m.RecoveredBytes += int64(consumed)
+	r.m.RecoveredFrames += int64(len(frames))
+	r.rec.CkptLoad(stream, consumed, len(frames))
 	return frames
 }
 
-// mustPeek returns a file's bytes or nil (metadata-only helper).
-func mustPeek(t *storage.Tier, path string) []byte {
-	data, err := t.Peek(path)
-	if err != nil {
-		return nil
+// readRetry reads path from t, retrying transient read faults a bounded
+// number of times and accumulating the I/O wait into acc.
+func readRetry(p *vtime.Proc, t *storage.Tier, path string, acc *time.Duration) ([]byte, bool) {
+	for attempt := 0; ; attempt++ {
+		data, d, err := t.ReadFile(p, path)
+		*acc += d
+		if err == nil {
+			return data, true
+		}
+		if !errors.Is(err, storage.ErrReadFault) || attempt >= 2 {
+			return nil, false
+		}
 	}
-	return data
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/vtime"
 )
 
@@ -13,6 +14,15 @@ func ckptCluster() *cluster.Cluster {
 	cfg.Nodes = 1
 	cfg.PPN = 2
 	return cluster.New(cfg)
+}
+
+// mustPeek returns a file's bytes or nil (test helper).
+func mustPeek(t *storage.Tier, path string) []byte {
+	data, err := t.Peek(path)
+	if err != nil {
+		return nil
+	}
+	return data
 }
 
 func TestCopierDrainsLocalToPFS(t *testing.T) {

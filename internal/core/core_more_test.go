@@ -348,16 +348,18 @@ func TestPropFrameRoundTrip(t *testing.T) {
 		P    []byte
 	}) bool {
 		var stream []byte
-		for _, fr := range frames {
-			stream = encodeFrame(stream, fr.Kind, fr.A, fr.B, fr.P)
+		kinds := make([]byte, len(frames))
+		for i, fr := range frames {
+			kinds[i] = fr.Kind%frameReduce + 1 // constrain to the valid kind range
+			stream = encodeFrame(stream, kinds[i], fr.A, fr.B, fr.P)
 		}
-		dec := decodeFrames(stream)
-		if len(dec) != len(frames) {
+		dec, err := decodeFrames(stream)
+		if err != nil || len(dec) != len(frames) {
 			return false
 		}
 		for i, fr := range frames {
 			d := dec[i]
-			if d.kind != fr.Kind || d.a != fr.A || d.b != fr.B || string(d.payload) != string(fr.P) {
+			if d.kind != kinds[i] || d.a != fr.A || d.b != fr.B || string(d.payload) != string(fr.P) {
 				return false
 			}
 		}
@@ -371,14 +373,95 @@ func TestPropFrameRoundTrip(t *testing.T) {
 func TestDecodeFramesToleratesTruncation(t *testing.T) {
 	var stream []byte
 	stream = encodeFrame(stream, frameMapDelta, 1, 2, []byte("abc"))
+	boundary1 := len(stream)
 	stream = encodeFrame(stream, frameTaskDone, 1, 3, nil)
 	for cut := 0; cut <= len(stream); cut++ {
-		frames := decodeFrames(stream[:cut])
-		// Never panics, never returns more frames than fully present.
+		frames, err := decodeFrames(stream[:cut])
+		// Never panics, never returns more frames than fully present, and
+		// flags every cut that is not an exact frame boundary.
 		if len(frames) > 2 {
 			t.Fatalf("cut %d: %d frames", cut, len(frames))
 		}
+		atBoundary := cut == 0 || cut == boundary1 || cut == len(stream)
+		if atBoundary && err != nil {
+			t.Fatalf("cut %d at frame boundary: unexpected error %v", cut, err)
+		}
+		if !atBoundary && err == nil {
+			t.Fatalf("cut %d mid-frame: truncation not detected", cut)
+		}
 	}
+}
+
+func TestDecodeFramesRejectsGarbage(t *testing.T) {
+	// Short header: fewer bytes than one frame header.
+	if frames, err := decodeFrames(make([]byte, frameHdrLen-1)); err == nil || len(frames) != 0 {
+		t.Fatalf("short header: frames=%d err=%v", len(frames), err)
+	}
+	// Zero-length payload round-trips as a valid (empty-payload) frame.
+	empty := encodeFrame(nil, frameShuffle, 7, 0, nil)
+	if frames, err := decodeFrames(empty); err != nil || len(frames) != 1 || len(frames[0].payload) != 0 {
+		t.Fatalf("zero-length payload: frames=%d err=%v", len(frames), err)
+	}
+	// Bad kind byte.
+	bad := append([]byte(nil), empty...)
+	bad[0] = 0
+	if _, err := decodeFrames(bad); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+	bad[0] = frameReduce + 1
+	if _, err := decodeFrames(bad); err == nil {
+		t.Fatal("out-of-range kind accepted")
+	}
+	// Implausible declared length.
+	huge := encodeFrame(nil, frameMapDelta, 1, 1, []byte("x"))
+	binaryPutU32(huge[9:13], uint32(maxFramePayload)+1)
+	if _, err := decodeFrames(huge); err == nil {
+		t.Fatal("implausible length accepted")
+	}
+	// Single flipped payload bit: CRC must catch it, valid prefix preserved.
+	two := encodeFrame(nil, frameMapDelta, 1, 2, []byte("abc"))
+	first := len(two)
+	two = encodeFrame(two, frameTaskDone, 1, 3, []byte("defg"))
+	two[first+frameHdrLen] ^= 0x01
+	frames, consumed, err := decodeFramesPrefix(two)
+	if err == nil || len(frames) != 1 || consumed != first {
+		t.Fatalf("bit flip: frames=%d consumed=%d err=%v", len(frames), consumed, err)
+	}
+}
+
+// TestDecodeStateRejectsGarbage drives decodeState with malformed inputs.
+func TestDecodeStateRejectsGarbage(t *testing.T) {
+	// A minimal well-formed state: phase, jobIdx, empty bitmap, model rank,
+	// three float64s, two empty claim lists.
+	minimal := []byte{byte(phMap)}
+	minimal = append(minimal, 0, 0, 0, 0) // jobIdx
+	minimal = append(minimal, 0, 0, 0, 0) // bitmap length 0
+	minimal = append(minimal, 0, 0, 0, 0) // model rank
+	minimal = append(minimal, make([]byte, 24)...)
+	minimal = append(minimal, 0, 0, 0, 0) // parts list
+	minimal = append(minimal, 0, 0, 0, 0) // tasks list
+	if _, err := decodeState(minimal); err != nil {
+		t.Fatalf("minimal valid state rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   {1, 2, 3},
+		"bad phase":      append([]byte{byte(phDone + 1)}, minimal[1:]...),
+		"truncated body": minimal[:len(minimal)-5],
+		"trailing bytes": append(append([]byte(nil), minimal...), 0xff),
+	}
+	for name, data := range cases {
+		if _, err := decodeState(data); err == nil {
+			t.Fatalf("%s: garbage accepted", name)
+		}
+	}
+}
+
+func binaryPutU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
 }
 
 // --- task table properties ---

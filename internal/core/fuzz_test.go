@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrames checks the frame codec's WAL invariants on arbitrary
+// input: never panic, always return a valid prefix (re-encoding the decoded
+// frames reproduces exactly the consumed bytes), and err == nil iff the
+// whole input was consumed.
+func FuzzDecodeFrames(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeFrame(nil, frameMapDelta, 1, 2, []byte("abc")))
+	two := encodeFrame(nil, frameShuffle, 3, 0, nil)
+	two = encodeFrame(two, frameReduce, 4, 9, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(two)
+	f.Add(two[:len(two)-3]) // torn tail
+	flipped := append([]byte(nil), two...)
+	flipped[frameHdrLen] ^= 0x80
+	f.Add(flipped) // corrupted payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, consumed, err := decodeFramesPrefix(data)
+		if consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if (err == nil) != (consumed == len(data)) {
+			t.Fatalf("err=%v but consumed %d of %d", err, consumed, len(data))
+		}
+		var re []byte
+		for _, fr := range frames {
+			re = encodeFrame(re, fr.kind, fr.a, fr.b, fr.payload)
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encoding %d frames does not reproduce the consumed prefix", len(frames))
+		}
+	})
+}
+
+// FuzzDecodeState checks the survivor-state codec never panics and never
+// accepts input with undeclared trailing bytes.
+func FuzzDecodeState(f *testing.F) {
+	minimal := []byte{byte(phMap)}
+	minimal = append(minimal, 0, 0, 0, 0)
+	minimal = append(minimal, 0, 0, 0, 0)
+	minimal = append(minimal, 0, 0, 0, 0)
+	minimal = append(minimal, make([]byte, 24)...)
+	minimal = append(minimal, 0, 0, 0, 0)
+	minimal = append(minimal, 0, 0, 0, 0)
+	f.Add([]byte{})
+	f.Add(minimal)
+	f.Add(append(append([]byte(nil), minimal...), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeState(data)
+		if err != nil {
+			return
+		}
+		if s.phase > phDone {
+			t.Fatalf("accepted out-of-range phase %d", s.phase)
+		}
+		// Accepted input must be exactly one well-formed state: appending a
+		// byte must break it (no silent trailing-garbage tolerance).
+		if _, err := decodeState(append(append([]byte(nil), data...), 0)); err == nil {
+			t.Fatal("state with trailing garbage accepted")
+		}
+	})
+}

@@ -148,8 +148,14 @@ func (a *App) RunJob(spec Spec) (*Result, error) {
 				res.Aborted = true
 				return res, err
 			}
-			for {
-				rerr := r.recoverDR()
+			// Bounded retries: each pass masks one more failure that landed
+			// during the previous recovery attempt (overlapping failures).
+			// The bound only guards against a livelock bug — with at most
+			// one failure per attempt, convergence needs at most as many
+			// passes as there are ranks left to lose.
+			const maxRecoveryAttempts = 64
+			for attempts := 0; ; attempts++ {
+				rerr := r.recoverDR(attempts > 0)
 				switch {
 				case rerr == nil:
 					continue drLoop
@@ -171,6 +177,9 @@ func (a *App) RunJob(spec Spec) (*Result, error) {
 				case !recoverable(rerr):
 					res.Aborted = true
 					return res, rerr
+				case attempts+1 >= maxRecoveryAttempts:
+					res.Aborted = true
+					return res, fmt.Errorf("core: recovery did not converge after %d attempts: %w", attempts+1, rerr)
 				}
 			}
 		}

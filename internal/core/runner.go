@@ -10,6 +10,7 @@ import (
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/kvbuf"
 	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
 )
@@ -353,9 +354,13 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 	}
 
 	// Read the chunk (the library owns all file I/O; the user's reader only
-	// tokenizes, §3.2).
+	// tokenizes, §3.2). Transient read faults are retried (bounded).
 	data, d, err := clus.PFS.ReadFile(r.p, task.Chunk.File)
 	r.m.IOWait += d
+	for attempt := 0; errors.Is(err, storage.ErrReadFault) && attempt < 2; attempt++ {
+		data, d, err = clus.PFS.ReadFile(r.p, task.Chunk.File)
+		r.m.IOWait += d
+	}
 	if err != nil {
 		return fmt.Errorf("core: read chunk %s: %w", task.Chunk.File, err)
 	}
@@ -597,7 +602,13 @@ func (r *runner) phaseShuffle() error {
 	r.parts = make(map[int]*kvbuf.KV)
 	r.kmv = make(map[int]*kvbuf.KMV)
 	for _, b := range recv {
-		for _, f := range decodeFrames(b) {
+		fs, err := decodeFrames(b)
+		if err != nil {
+			// Shuffle bundles travel over the (fault-free) network; a decode
+			// failure here is a framing bug, not a storage fault.
+			return fmt.Errorf("core: shuffle bundle: %w", err)
+		}
+		for _, f := range fs {
 			if f.kind != frameShuffle {
 				continue
 			}
@@ -794,8 +805,21 @@ func (r *runner) phaseReduce() error {
 			r.compute(cpuAcc)
 			cpuAcc = 0
 			if len(w.buf) > 0 {
-				d := clus.PFS.AppendFile(r.p, outputPath(r.spec.JobID, part), w.buf, 1)
-				r.m.IOWait += d
+				path := outputPath(r.spec.JobID, part)
+				for attempt := 0; ; attempt++ {
+					pre := clus.PFS.Size(path)
+					d, err := clus.PFS.AppendFile(r.p, path, w.buf, 1)
+					r.m.IOWait += d
+					if err == nil {
+						break
+					}
+					// Torn output append: roll back to the pre-append length
+					// and retry, keeping committed bytes byte-exact.
+					clus.PFS.Truncate(path, pre)
+					if attempt >= 7 {
+						return fmt.Errorf("core: output commit for partition %d: %w", part, err)
+					}
+				}
 				r.outLen[part] += uint64(len(w.buf))
 				w.buf = w.buf[:0]
 			}
@@ -850,15 +874,42 @@ func drErrHandler(c *mpi.Comm, err error) {
 
 // recoverDR masks a failure in place: shrink the communicator, rebuild the
 // global state, redistribute the failed processes' work, and rewind the
-// phase index as far as the lost data requires (§4.2.2).
-func (r *runner) recoverDR() error {
+// phase index as far as the lost data requires (§4.2.2). retry is true when
+// a previous recovery attempt was itself interrupted by another failure —
+// overlapping failures are the norm under continuous injection, so recovery
+// must be restartable, not merely runnable.
+func (r *runner) recoverDR(retry bool) (err error) {
 	t0 := r.p.Now()
+	// Surface the recovery window to phase observers (the failure injector
+	// uses this to aim kills *inside* recovery).
+	r.job.h.notifyPhase(r.myWorld(), PhaseRecovery)
 	// Every survivor passes through here exactly once per episode: record the
 	// detect→revoke observation before the shrink/agree steps the Shrink call
 	// emits, so each survivor's stream shows the full causal chain.
 	r.rec.RecoveryBegin()
 	r.rec.FailureDetect(nil)
 	r.rec.Revoke("observed")
+	// On an interrupted attempt, close this span when bailing out with an
+	// error: the caller will open a fresh one for the restarted attempt. (A
+	// kill unwinds via panic with err == nil, correctly leaving the dead
+	// rank's span open.)
+	defer func() {
+		if err != nil {
+			d := r.p.Now() - t0
+			r.m.Recovery.Init += d
+			r.m.PhaseTime[PhaseRecovery] += d
+			r.rec.RecoveryEnd()
+		}
+	}()
+	if retry {
+		// A second death interrupted the previous attempt. Re-revoke so the
+		// new failure epoch floods to every survivor — including ones still
+		// parked in the failed attempt's collectives — before re-entering
+		// Shrink.
+		if rerr := r.comm.Revoke(); rerr != nil {
+			return rerr
+		}
+	}
 	newComm, err := r.comm.Shrink()
 	if err != nil {
 		return err
@@ -974,7 +1025,7 @@ func (r *runner) recoverDR() error {
 		needRemap := !wc
 		if wc {
 			for _, part := range lost {
-				if !pfs.Exists(ckptPath(r.spec.JobID, partStream(part))) {
+				if !r.hasShuffleSnapshot(part) {
 					needRemap = true
 					break
 				}
@@ -1142,6 +1193,30 @@ func (r *runner) redistributeTasks(lostIDs []int, models []lbModel, restorable b
 	r.shuffled = false
 }
 
+// hasShuffleSnapshot reports whether a partition's checkpoint stream holds a
+// decodable post-shuffle snapshot. Mere existence of the stream is not
+// enough once streams can be torn or corrupted: work-conserving adoption of
+// a partition whose snapshot frame was lost would silently drop its data.
+func (r *runner) hasShuffleSnapshot(part int) bool {
+	data, err := r.job.clus.PFS.Peek(ckptPath(r.spec.JobID, partStream(part)))
+	if err != nil {
+		return false
+	}
+	frames, _, _ := decodeFramesPrefix(data)
+	for _, f := range frames {
+		if f.kind != frameShuffle {
+			continue
+		}
+		if len(f.payload) == 0 {
+			return true // a valid snapshot of an empty partition
+		}
+		if _, err := kvbuf.FromBytes(f.payload); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // restorePartition loads an adopted partition's post-shuffle data,
 // conversion result, and reduce progress from its checkpoint stream.
 func (r *runner) restorePartition(part int) error {
@@ -1256,6 +1331,9 @@ func decodeState(data []byte) (survivorState, error) {
 		return s, errors.New("core: short survivor state")
 	}
 	s.phase = int(data[0])
+	if s.phase > phDone {
+		return s, fmt.Errorf("core: survivor state: bad phase %d", s.phase)
+	}
 	if len(data) < 9 {
 		return s, errors.New("core: short survivor state header")
 	}
@@ -1298,6 +1376,9 @@ func decodeState(data []byte) (survivorState, error) {
 	if s.tasks, err = readList(); err != nil {
 		return s, err
 	}
+	if len(data) != 0 {
+		return s, fmt.Errorf("core: survivor state: %d trailing bytes", len(data))
+	}
 	return s, nil
 }
 
@@ -1315,8 +1396,23 @@ func (r *runner) finishOutputs() {
 	}
 	sort.Strings(paths)
 	r.job.res.OutputPaths = paths
-	// Completion marker for restarted/iterative jobs.
-	r.job.clus.PFS.FS.Write("pfs:"+doneMarker(r.spec.JobID), []byte("done"))
+	// Completion marker for restarted/iterative jobs, committed atomically:
+	// write a temp file (retrying torn writes) and rename it into place, so
+	// a crash mid-write can never leave a marker that looks committed.
+	pfs := r.job.clus.PFS
+	marker := doneMarker(r.spec.JobID)
+	tmp := marker + ".tmp"
+	for attempt := 0; ; attempt++ {
+		_, err := pfs.WriteFile(r.p, tmp, []byte("done"))
+		if err == nil || attempt >= 3 {
+			break
+		}
+	}
+	if _, err := pfs.Rename(r.p, tmp, marker); err != nil {
+		// The temp file vanished (shouldn't happen); fall back to a direct
+		// marker write so completion is still recorded.
+		_, _ = pfs.WriteFile(r.p, marker, []byte("done"))
+	}
 	// The job is durable in its outputs now; drop its checkpoint streams
 	// unless the caller wants them kept for inspection.
 	if !r.spec.KeepCheckpoints && r.spec.Model.Checkpointing() {

@@ -9,8 +9,10 @@ import (
 	"math/rand"
 	"time"
 
+	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
 	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/storage"
 )
 
 // inject records the injector's decision on the world trace track (if
@@ -68,6 +70,82 @@ func MTTF(w *mpi.World, mttf time.Duration, maxKills int, seed int64) {
 		})
 	}
 	arm()
+}
+
+// KillDuringRecovery arms a one-shot kill that fires the first time any rank
+// reports entering the recovery phase: after delay (keep it within the
+// shrink/agree window, i.e. tens of microseconds), victim is killed — so
+// recovery itself must be recovered. victim < 0 selects the highest-numbered
+// alive rank other than the reporting one. Dead or already-selected victims
+// are skipped, never double-killed.
+func KillDuringRecovery(h *core.Handle, victim int, delay time.Duration) {
+	armed := false
+	h.OnPhase(func(worldRank int, ph core.Phase) {
+		if armed || ph != core.PhaseRecovery {
+			return
+		}
+		armed = true
+		h.Clus.Sim.After(delay, func() {
+			alive := h.World.AliveRanks()
+			v := -1
+			if victim >= 0 {
+				for _, a := range alive {
+					if a == victim {
+						v = victim
+						break
+					}
+				}
+			} else {
+				for i := len(alive) - 1; i >= 0; i-- {
+					if alive[i] != worldRank {
+						v = alive[i]
+						break
+					}
+				}
+			}
+			if v < 0 || len(alive) <= 1 {
+				return
+			}
+			inject(h.World, v)
+		})
+	})
+}
+
+// Chaos arms a randomized failure schedule: maxKills kills at uniform random
+// virtual times in (0, window], each victim drawn from the alive set at fire
+// time, plus one extra kill aimed inside the first recovery window (so
+// overlapping failures are the common case, not a lucky coincidence). Runs
+// with the same seed on the same workload are identical.
+func Chaos(h *core.Handle, seed int64, maxKills int, window time.Duration) {
+	if window <= 0 || maxKills <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < maxKills; i++ {
+		at := time.Duration(rng.Int63n(int64(window))) + 1
+		h.Clus.Sim.After(at, func() {
+			alive := h.World.AliveRanks()
+			if len(alive) <= 1 {
+				return
+			}
+			inject(h.World, alive[rng.Intn(len(alive))])
+		})
+	}
+	KillDuringRecovery(h, -1, time.Duration(rng.Int63n(int64(40*time.Microsecond)))+10*time.Microsecond)
+}
+
+// StorageFaults attaches seeded storage fault injectors (the chaos policy:
+// torn writes, bit flips, and transient read errors on checkpoint data, torn
+// writes on outputs, transient read errors on inputs) to the cluster's PFS
+// and every node-local tier. Each tier gets a distinct stream derived from
+// seed so faults do not correlate across tiers.
+func StorageFaults(clus *cluster.Cluster, seed int64) {
+	clus.PFS.Faults = storage.NewInjector(storage.ChaosPolicy(seed))
+	for i, n := range clus.Nodes {
+		if n.Local != nil {
+			n.Local.Faults = storage.NewInjector(storage.ChaosPolicy(seed + 1 + int64(i)))
+		}
+	}
 }
 
 // Continuous kills one random live rank every interval, starting after the

@@ -297,7 +297,7 @@ func (st *commState) onFailure(worldRank int) {
 		box.waiters = keep
 	}
 	if st.shrink != nil {
-		st.shrink.onFailure(st)
+		st.shrink.onFailure(st, worldRank)
 	}
 	if st.agree != nil {
 		st.agree.onFailure(st)

@@ -23,16 +23,23 @@ import (
 // every process: all pending operations on the communicator complete with
 // ErrRevoked and all future operations (other than Shrink and Agree) fail
 // with ErrRevoked. Unlike Abort, no process is terminated.
+//
+// Revoke is re-entrant: revoking an already-revoked communicator re-floods
+// the revocation, waking anyone who blocked on the communicator since the
+// first revoke. Recovery restarted after an overlapping failure relies on
+// this — survivors parked in a failed recovery attempt's collectives must
+// be interrupted again.
 func (c *Comm) Revoke() error {
 	st := c.st
 	if st.revoked {
-		return nil
+		c.r.rec.Revoke("re-initiate")
+	} else {
+		c.r.rec.Revoke("initiate")
+		st.revoked = true
+		// Model the revoke packet flood: the revoking rank pays one message
+		// latency; everyone blocked on the comm is interrupted.
+		c.r.proc.Sleep(st.w.Clus.Cfg.NICLatency)
 	}
-	c.r.rec.Revoke("initiate")
-	st.revoked = true
-	// Model the revoke packet flood: the revoking rank pays one message
-	// latency; everyone blocked on the comm is interrupted.
-	c.r.proc.Sleep(st.w.Clus.Cfg.NICLatency)
 	for _, box := range st.boxes {
 		ws := box.waiters
 		box.waiters = nil
@@ -84,6 +91,7 @@ type shrinkOp struct {
 type shrinkWait struct {
 	c    *Comm
 	done bool
+	err  error
 }
 
 // Shrink creates a new communicator containing the surviving processes of a
@@ -92,6 +100,11 @@ type shrinkWait struct {
 // communicator with ranks renumbered in ascending world-rank order
 // (MPI_Comm_shrink). The caller's handle on the old communicator remains
 // valid only for Shrink/Agree.
+//
+// A member dying while the shrink is still gathering participants fails the
+// whole operation with ProcFailedError on every waiter: the failed set the
+// survivors were about to agree on is stale, so the caller must re-revoke
+// and restart its recovery rather than proceed on a half-agreed membership.
 func (c *Comm) Shrink() (*Comm, error) {
 	st := c.st
 	c.r.rec.ShrinkBegin(len(st.group))
@@ -105,6 +118,10 @@ func (c *Comm) Shrink() (*Comm, error) {
 	op.tryComplete(st)
 	for !w.done {
 		c.r.proc.Park()
+	}
+	if w.err != nil {
+		c.r.rec.ShrinkEnd(0)
+		return nil, w.err
 	}
 	// Agreement cost: a few log₂(P) latency rounds.
 	c.r.rec.AgreeBegin(0)
@@ -143,17 +160,24 @@ func (op *shrinkOp) tryComplete(st *commState) {
 	st.shrink = nil
 }
 
-// onFailure re-evaluates completion when a member dies mid-shrink.
-func (op *shrinkOp) onFailure(st *commState) {
-	// Drop waiters owned by dead procs.
-	var keep []*shrinkWait
-	for _, w := range op.waiters {
-		if !w.c.r.proc.Dead() {
-			keep = append(keep, w)
-		}
+// onFailure aborts an in-progress shrink when a member dies mid-operation:
+// every live waiter is woken with ProcFailedError and the op is torn down,
+// forcing the callers to re-revoke and re-enter Shrink with the new failure
+// already part of the group view (overlapping-failure recovery restart).
+func (op *shrinkOp) onFailure(st *commState, worldRank int) {
+	if op.done {
+		return
 	}
-	op.waiters = keep
-	op.tryComplete(st)
+	op.done = true
+	for _, w := range op.waiters {
+		if w.c.r.proc.Dead() {
+			continue
+		}
+		w.err = &ProcFailedError{Ranks: []int{worldRank}}
+		w.done = true
+		st.w.Sim.Wake(w.c.r.proc)
+	}
+	st.shrink = nil
 }
 
 // agreeOp tracks an in-progress Agree.

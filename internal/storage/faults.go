@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+)
+
+// Storage fault injection. Real FT frameworks break on the storage path, not
+// the happy path: a crash mid-append leaves a torn tail, media and transport
+// corrupt bytes silently, and shared file systems throw transient errors
+// under load. An Injector attached to a Tier reproduces those faults from a
+// seeded RNG so every chaos run is replayable.
+//
+// Fault taxonomy:
+//
+//   - Torn write: only a random strict prefix of the data reaches the file
+//     and the operation reports ErrTornWrite (a crash-truncated or
+//     short-counted write the caller gets to observe). Callers roll back to
+//     the pre-write length and retry, or accept the coverage loss.
+//   - Bit flip: the data lands with one bit inverted and NO error — silent
+//     corruption that only end-to-end integrity checks (the checkpoint
+//     frame CRC) can catch.
+//   - Transient read error: the read fails with ErrReadFault; a retry of
+//     the same path succeeds.
+//
+// Faults are transient per path: after an operation on a path faults, the
+// next operation on that same path is never faulted. Hardened callers that
+// retry therefore always converge, while callers that never retry still see
+// every failure mode.
+
+// ErrTornWrite reports a write or append that only partially reached the
+// tier (the stored file holds a prefix of the intended data).
+var ErrTornWrite = errors.New("storage: torn write")
+
+// ErrReadFault reports a transient read failure; retrying the same path
+// succeeds.
+var ErrReadFault = errors.New("storage: transient read error")
+
+// FaultRule gives per-path-prefix fault probabilities. An empty Prefix
+// matches every path.
+type FaultRule struct {
+	Prefix    string
+	TornWrite float64 // P(write/append is torn and reported)
+	BitFlip   float64 // P(write/append lands with one silent bit flip)
+	ReadError float64 // P(read fails transiently)
+}
+
+// FaultPolicy seeds an Injector: the first rule whose prefix matches the
+// (tier-relative) path governs an operation; unmatched paths never fault.
+type FaultPolicy struct {
+	Seed  int64
+	Rules []FaultRule
+}
+
+// FaultStats counts the faults an Injector has delivered.
+type FaultStats struct {
+	TornWrites int
+	BitFlips   int
+	ReadErrors int
+}
+
+// Injector is a seeded, stateful storage fault source for one tier.
+type Injector struct {
+	rng    *rand.Rand
+	rules  []FaultRule
+	sticky map[string]bool // path -> previous op faulted; next op is clean
+	Stats  FaultStats
+}
+
+// NewInjector builds an injector from a policy. Two injectors with the same
+// policy deliver the same fault sequence for the same operation sequence.
+func NewInjector(pol FaultPolicy) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(pol.Seed)),
+		rules:  append([]FaultRule(nil), pol.Rules...),
+		sticky: make(map[string]bool),
+	}
+}
+
+// ChaosPolicy is the default policy used by chaos runs: torn writes, silent
+// bit flips, and transient read errors on checkpoint data; torn writes on
+// reduce outputs (the commit path rolls them back); transient read errors on
+// input chunks. Outputs are never bit-flipped — they carry no checksum, so
+// silent output corruption is outside the recoverable fault model (see
+// DESIGN.md "Fault model").
+func ChaosPolicy(seed int64) FaultPolicy {
+	return FaultPolicy{
+		Seed: seed,
+		Rules: []FaultRule{
+			{Prefix: "ckpt/", TornWrite: 0.06, BitFlip: 0.04, ReadError: 0.06},
+			{Prefix: "out/", TornWrite: 0.04},
+			{Prefix: "in/", ReadError: 0.03},
+		},
+	}
+}
+
+// rule returns the first matching rule for a path, or nil.
+func (in *Injector) rule(path string) *FaultRule {
+	for i := range in.rules {
+		if strings.HasPrefix(path, in.rules[i].Prefix) {
+			return &in.rules[i]
+		}
+	}
+	return nil
+}
+
+// clean reports (and consumes) the per-path transient guarantee: the
+// operation right after a fault on the same path must succeed.
+func (in *Injector) clean(path string) bool {
+	if in.sticky[path] {
+		delete(in.sticky, path)
+		return true
+	}
+	return false
+}
+
+// onWrite vets one write/append of data to path. It returns the bytes that
+// actually land (possibly a torn prefix or a bit-flipped copy) and
+// ErrTornWrite when the write is torn. A nil error with mutated bytes is a
+// silent bit flip.
+func (in *Injector) onWrite(path string, data []byte) ([]byte, error) {
+	r := in.rule(path)
+	if r == nil || in.clean(path) || len(data) == 0 {
+		return data, nil
+	}
+	roll := in.rng.Float64()
+	if roll < r.TornWrite {
+		in.sticky[path] = true
+		in.Stats.TornWrites++
+		return data[:in.rng.Intn(len(data))], ErrTornWrite
+	}
+	if roll < r.TornWrite+r.BitFlip {
+		in.sticky[path] = true
+		in.Stats.BitFlips++
+		flipped := append([]byte(nil), data...)
+		flipped[in.rng.Intn(len(flipped))] ^= 1 << uint(in.rng.Intn(8))
+		return flipped, nil
+	}
+	return data, nil
+}
+
+// onRead vets one read of path, returning ErrReadFault when it transiently
+// fails.
+func (in *Injector) onRead(path string) error {
+	r := in.rule(path)
+	if r == nil || in.clean(path) {
+		return nil
+	}
+	if in.rng.Float64() < r.ReadError {
+		in.sticky[path] = true
+		in.Stats.ReadErrors++
+		return ErrReadFault
+	}
+	return nil
+}

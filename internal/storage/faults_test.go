@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/vtime"
+)
+
+func TestFSRenameDeleteTruncate(t *testing.T) {
+	fs := NewFS()
+	fs.Write("a", []byte("payload"))
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if fs.Exists("a") || !fs.Exists("b") {
+		t.Fatal("rename did not move the file")
+	}
+	// Rename replaces an existing destination atomically.
+	fs.Write("c", []byte("old"))
+	if err := fs.Rename("b", "c"); err != nil {
+		t.Fatalf("rename over existing: %v", err)
+	}
+	data, _ := fs.Read("c")
+	if string(data) != "payload" {
+		t.Fatalf("destination holds %q", data)
+	}
+	if err := fs.Rename("missing", "x"); err == nil {
+		t.Fatal("rename of missing file succeeded")
+	}
+	if err := fs.Delete("c"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := fs.Delete("c"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	fs.Write("t", []byte("0123456789"))
+	fs.Truncate("t", 4)
+	data, _ = fs.Read("t")
+	if string(data) != "0123" {
+		t.Fatalf("truncated to %q", data)
+	}
+	fs.Truncate("t", 100) // no-op: already shorter
+	fs.Truncate("missing", 0)
+	fs.Truncate("t", -1) // negative is a no-op
+	if fs.Size("t") != 4 {
+		t.Fatalf("size after no-op truncates = %d", fs.Size("t"))
+	}
+}
+
+func TestTierRenameDelete(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := NewTier("t", NewFS(), vtime.NewBandwidth(sim, "bw", 1e9), time.Millisecond, "x:")
+	sim.Spawn("p", func(p *vtime.Proc) {
+		if _, err := tier.WriteFile(p, "f", []byte("data")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		d, err := tier.Rename(p, "f", "g")
+		if err != nil || d <= 0 {
+			t.Errorf("rename: d=%v err=%v", d, err)
+		}
+		if tier.Exists("f") || !tier.Exists("g") {
+			t.Error("rename did not move within the tier namespace")
+		}
+		if _, err := tier.Delete(p, "g"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		if _, err := tier.Delete(p, "g"); err == nil {
+			t.Error("double delete succeeded")
+		}
+	})
+	sim.Run()
+}
+
+// faultTier builds a tier with an injector whose rule matches every path
+// with the given probabilities.
+func faultTier(sim *vtime.Sim, rule FaultRule, seed int64) *Tier {
+	tier := NewTier("t", NewFS(), vtime.NewBandwidth(sim, "bw", 1e12), 0, "x:")
+	tier.Faults = NewInjector(FaultPolicy{Seed: seed, Rules: []FaultRule{rule}})
+	return tier
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := faultTier(sim, FaultRule{TornWrite: 1.0}, 1)
+	payload := bytes.Repeat([]byte("x"), 100)
+	sim.Spawn("p", func(p *vtime.Proc) {
+		_, err := tier.WriteFile(p, "f", payload)
+		if !errors.Is(err, ErrTornWrite) {
+			t.Errorf("err = %v, want ErrTornWrite", err)
+		}
+		if tier.Size("f") >= len(payload) {
+			t.Errorf("torn write stored %d bytes, want a strict prefix", tier.Size("f"))
+		}
+		// Sticky transient guarantee: the next op on the same path succeeds.
+		if _, err := tier.WriteFile(p, "f", payload); err != nil {
+			t.Errorf("retry after torn write failed: %v", err)
+		}
+		if tier.Size("f") != len(payload) {
+			t.Errorf("retry stored %d bytes", tier.Size("f"))
+		}
+	})
+	sim.Run()
+	if tier.Faults.Stats.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d", tier.Faults.Stats.TornWrites)
+	}
+}
+
+func TestInjectorBitFlipSilent(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := faultTier(sim, FaultRule{BitFlip: 1.0}, 2)
+	payload := bytes.Repeat([]byte{0}, 64)
+	sim.Spawn("p", func(p *vtime.Proc) {
+		if _, err := tier.WriteFile(p, "f", payload); err != nil {
+			t.Errorf("bit flip must be silent, got %v", err)
+		}
+	})
+	sim.Run()
+	got, _ := tier.Peek("f")
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if got[i]&(1<<b) != payload[i]&(1<<b) {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+	if tier.Faults.Stats.BitFlips != 1 {
+		t.Fatalf("BitFlips = %d", tier.Faults.Stats.BitFlips)
+	}
+}
+
+func TestInjectorTransientReadError(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := faultTier(sim, FaultRule{ReadError: 1.0}, 3)
+	sim.Spawn("p", func(p *vtime.Proc) {
+		if _, err := tier.WriteFile(p, "f", []byte("data")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		_, _, err := tier.ReadFile(p, "f")
+		if !errors.Is(err, ErrReadFault) {
+			t.Errorf("err = %v, want ErrReadFault", err)
+		}
+		data, _, err := tier.ReadFile(p, "f")
+		if err != nil || string(data) != "data" {
+			t.Errorf("retry: %q, %v", data, err)
+		}
+	})
+	sim.Run()
+}
+
+func TestInjectorPrefixScoping(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := NewTier("t", NewFS(), vtime.NewBandwidth(sim, "bw", 1e12), 0, "x:")
+	tier.Faults = NewInjector(FaultPolicy{Seed: 4, Rules: []FaultRule{
+		{Prefix: "ckpt/", TornWrite: 1.0},
+	}})
+	sim.Spawn("p", func(p *vtime.Proc) {
+		if _, err := tier.WriteFile(p, "out/f", []byte("safe")); err != nil {
+			t.Errorf("unmatched prefix faulted: %v", err)
+		}
+		if _, err := tier.WriteFile(p, "ckpt/f", []byte("faulty")); !errors.Is(err, ErrTornWrite) {
+			t.Errorf("matched prefix not faulted: %v", err)
+		}
+	})
+	sim.Run()
+}
+
+func TestInjectorDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) ([]byte, FaultStats) {
+		sim := vtime.NewSim()
+		tier := faultTier(sim, FaultRule{TornWrite: 0.3, BitFlip: 0.3, ReadError: 0.3}, seed)
+		sim.Spawn("p", func(p *vtime.Proc) {
+			for i := 0; i < 50; i++ {
+				_, _ = tier.AppendFile(p, "f", bytes.Repeat([]byte{byte(i)}, 32), 1)
+				_, _, _ = tier.ReadFile(p, "f")
+			}
+		})
+		sim.Run()
+		data, _ := tier.Peek("f")
+		return data, tier.Faults.Stats
+	}
+	d1, s1 := run(42)
+	d2, s2 := run(42)
+	if !bytes.Equal(d1, d2) || s1 != s2 {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	d3, s3 := run(43)
+	if bytes.Equal(d1, d3) && s1 == s3 {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+func TestInjectorNeverFaultsEmptyWrite(t *testing.T) {
+	sim := vtime.NewSim()
+	tier := faultTier(sim, FaultRule{TornWrite: 1.0, BitFlip: 1.0}, 5)
+	sim.Spawn("p", func(p *vtime.Proc) {
+		if _, err := tier.WriteFile(p, "f", nil); err != nil {
+			t.Errorf("empty write faulted: %v", err)
+		}
+	})
+	sim.Run()
+}

@@ -75,6 +75,44 @@ func (fs *FS) Remove(path string) {
 	delete(fs.files, path)
 }
 
+// Delete removes the file, erroring if it does not exist (the strict form of
+// Remove, for callers that must notice a missing file).
+func (fs *FS) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("storage: %s: no such file", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Rename atomically moves oldPath to newPath, replacing any existing file at
+// newPath. Like POSIX rename(2) it either fully happens or not at all, which
+// is what makes write-temp-then-rename commits crash-consistent.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[oldPath]
+	if !ok {
+		return fmt.Errorf("storage: rename %s: no such file", oldPath)
+	}
+	fs.files[newPath] = data
+	delete(fs.files, oldPath)
+	return nil
+}
+
+// Truncate shortens the file at path to n bytes. A missing file or a size
+// already within n is a no-op (truncation is a repair operation: it must be
+// safe to apply to whatever state a failure left behind).
+func (fs *FS) Truncate(path string, n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if data, ok := fs.files[path]; ok && n >= 0 && len(data) > n {
+		fs.files[path] = data[:n:n]
+	}
+}
+
 // RemovePrefix deletes every file whose path starts with prefix and returns
 // the number removed.
 func (fs *FS) RemovePrefix(prefix string) int {

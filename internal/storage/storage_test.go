@@ -55,7 +55,7 @@ func TestTierChargesLatencyAndBandwidth(t *testing.T) {
 	tier := NewTier("t", NewFS(), bw, 10*time.Millisecond, "x:")
 	var wrote time.Duration
 	sim.Spawn("w", func(p *vtime.Proc) {
-		wrote = tier.WriteFile(p, "file", make([]byte, 500))
+		wrote, _ = tier.WriteFile(p, "file", make([]byte, 500))
 	})
 	sim.Run()
 	want := 10*time.Millisecond + 500*time.Millisecond

@@ -22,6 +22,10 @@ type Tier struct {
 	// pool, operations cost OpLat each, serialized per caller.
 	IOPS   *vtime.Bandwidth
 	Prefix string // namespace prefix prepended to all paths
+	// Faults, when non-nil, injects seeded storage faults (torn writes, bit
+	// flips, transient read errors) into the charged operations. Uncosted
+	// metadata helpers (Peek, Exists, Size, ...) are never faulted.
+	Faults *Injector
 }
 
 // NewTier creates a tier over fs with the given bandwidth resource,
@@ -54,23 +58,42 @@ func (t *Tier) Charge(p *vtime.Proc, ops int, bytes int) time.Duration {
 }
 
 // WriteFile writes data to path as a single operation, charging latency and
-// bandwidth, and returns the I/O-wait incurred.
-func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) time.Duration {
+// bandwidth, and returns the I/O-wait incurred. Under fault injection the
+// stored file may be a torn prefix (reported via ErrTornWrite) or carry a
+// silent bit flip; either way the returned duration was genuinely spent.
+func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) (time.Duration, error) {
+	var ferr error
+	if t.Faults != nil {
+		data, ferr = t.Faults.onWrite(path, data)
+	}
 	d := t.Charge(p, 1, len(data))
 	t.FS.Write(t.path(path), data)
-	return d
+	return d, ferr
 }
 
 // AppendFile appends data to path, charged as ops operations (ops models
-// how many distinct small writes produced this batch of data).
-func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) time.Duration {
+// how many distinct small writes produced this batch of data). Under fault
+// injection the appended bytes may be a torn prefix (reported via
+// ErrTornWrite) or carry a silent bit flip.
+func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) (time.Duration, error) {
+	var ferr error
+	if t.Faults != nil {
+		data, ferr = t.Faults.onWrite(path, data)
+	}
 	d := t.Charge(p, ops, len(data))
 	t.FS.Append(t.path(path), data)
-	return d
+	return d, ferr
 }
 
 // ReadFile reads path, charging one operation plus bandwidth for its size.
+// Under fault injection it may fail with a transient ErrReadFault; a retry
+// of the same path succeeds (and is charged again).
 func (t *Tier) ReadFile(p *vtime.Proc, path string) ([]byte, time.Duration, error) {
+	if t.Faults != nil {
+		if err := t.Faults.onRead(path); err != nil {
+			return nil, t.Charge(p, 1, 0), err
+		}
+	}
 	data, err := t.FS.Read(t.path(path))
 	if err != nil {
 		return nil, t.Charge(p, 1, 0), err
@@ -103,6 +126,25 @@ func (t *Tier) List(prefix string) []string {
 // Remove deletes path (no cost).
 func (t *Tier) Remove(path string) { t.FS.Remove(t.path(path)) }
 
+// Rename atomically moves old to new within this tier, charged as one
+// metadata operation. Never faulted: rename is the atomicity primitive
+// commit protocols are built on.
+func (t *Tier) Rename(p *vtime.Proc, old, new string) (time.Duration, error) {
+	d := t.Charge(p, 1, 0)
+	return d, t.FS.Rename(t.path(old), t.path(new))
+}
+
+// Delete removes path, charged as one metadata operation; it errors if the
+// file does not exist.
+func (t *Tier) Delete(p *vtime.Proc, path string) (time.Duration, error) {
+	d := t.Charge(p, 1, 0)
+	return d, t.FS.Delete(t.path(path))
+}
+
+// Truncate shortens path to n bytes (no cost: a repair helper — callers
+// that model the I/O charge it explicitly).
+func (t *Tier) Truncate(path string, n int) { t.FS.Truncate(t.path(path), n) }
+
 // RemovePrefix deletes all files under prefix (no cost).
 func (t *Tier) RemovePrefix(prefix string) int { return t.FS.RemovePrefix(t.path(prefix)) }
 
@@ -113,6 +155,6 @@ func (t *Tier) Copy(p *vtime.Proc, src string, dst *Tier, dstPath string) (time.
 	if err != nil {
 		return d1, err
 	}
-	d2 := dst.WriteFile(p, dstPath, data)
-	return d1 + d2, nil
+	d2, err := dst.WriteFile(p, dstPath, data)
+	return d1 + d2, err
 }

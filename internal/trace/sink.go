@@ -28,27 +28,75 @@ type jsonlEvent struct {
 	C    int64   `json:"c,omitempty"`
 }
 
+// toJSONL converts an Event to its JSONL wire form.
+func toJSONL(ev Event) jsonlEvent {
+	return jsonlEvent{
+		Seq:  ev.Seq,
+		VTus: float64(ev.VT) / 1e3,
+		Rank: ev.Rank,
+		Kind: ev.Kind.String(),
+		Name: ev.Name,
+		A:    ev.A,
+		B:    ev.B,
+		C:    ev.C,
+	}
+}
+
 // WriteJSONL writes every retained event as one JSON object per line, in
 // causal order.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, ev := range t.Events() {
-		je := jsonlEvent{
-			Seq:  ev.Seq,
-			VTus: float64(ev.VT) / 1e3,
-			Rank: ev.Rank,
-			Kind: ev.Kind.String(),
-			Name: ev.Name,
-			A:    ev.A,
-			B:    ev.B,
-			C:    ev.C,
-		}
-		if err := enc.Encode(je); err != nil {
+		if err := enc.Encode(toJSONL(ev)); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// streamSink is a write-through JSONL sink: every event is encoded as it is
+// emitted, in global Seq order, so a long chaos or continuous-failure run is
+// fully captured even after the per-rank rings start overwriting. Errors are
+// sticky and surfaced by FlushStream.
+type streamSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+func (s *streamSink) write(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(toJSONL(ev))
+}
+
+// StreamJSONL attaches a write-through JSONL sink: from now on every emitted
+// event is also written to w immediately (buffered; call FlushStream at the
+// end). Pass nil to detach. No-op on a nil tracer.
+func (t *Tracer) StreamJSONL(w io.Writer) {
+	if t == nil {
+		return
+	}
+	if w == nil {
+		t.stream = nil
+		return
+	}
+	bw := bufio.NewWriter(w)
+	t.stream = &streamSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// FlushStream flushes the streaming sink's buffer and returns the first
+// error the sink encountered (nil when no sink is attached).
+func (t *Tracer) FlushStream() error {
+	if t == nil || t.stream == nil {
+		return nil
+	}
+	if err := t.stream.bw.Flush(); t.stream.err == nil {
+		t.stream.err = err
+	}
+	return t.stream.err
 }
 
 // Chrome trace_event constants.
@@ -172,6 +220,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		case KindCkptLoad:
 			out = append(out, instant(ev, "ckpt", "load:"+ev.Name,
 				map[string]any{"bytes": ev.A, "frames": ev.B}))
+		case KindCkptCorrupt:
+			out = append(out, instant(ev, "ckpt", "corrupt:"+ev.Name,
+				map[string]any{"valid": ev.A, "total": ev.B}))
 		case KindFailureInject:
 			out = append(out, instant(ev, "failure", fmt.Sprintf("inject:w%d", ev.A), nil))
 		case KindFailureKill:

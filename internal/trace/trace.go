@@ -70,6 +70,12 @@ const (
 	// Recovery span (recoverDR / resumePrepare), exported as an async span.
 	KindRecoveryBegin
 	KindRecoveryEnd
+
+	// Checkpoint corruption detected and quarantined. Name=stream,
+	// A=valid prefix bytes kept, B=total bytes before truncation.
+	// (Appended at the end of the block so earlier Kind values stay stable
+	// across trace-consuming tooling.)
+	KindCkptCorrupt
 )
 
 var kindNames = map[Kind]string{
@@ -96,6 +102,7 @@ var kindNames = map[Kind]string{
 	KindTaskCommit:    "task.commit",
 	KindRecoveryBegin: "recovery.begin",
 	KindRecoveryEnd:   "recovery.end",
+	KindCkptCorrupt:   "ckpt.corrupt",
 }
 
 func (k Kind) String() string {
@@ -130,10 +137,11 @@ const DefaultCapacity = 1 << 14
 // Tracer owns the per-rank recorders of one simulation. A nil *Tracer is a
 // valid disabled tracer.
 type Tracer struct {
-	sim *vtime.Sim
-	cap int
-	seq uint64
-	rec map[int]*Recorder
+	sim    *vtime.Sim
+	cap    int
+	seq    uint64
+	rec    map[int]*Recorder
+	stream *streamSink // non-nil when StreamJSONL is active (write-through)
 }
 
 // New creates a tracer stamping events with sim's virtual clock. capPerRank
@@ -230,6 +238,9 @@ func (r *Recorder) emit(kind Kind, name string, a, b, c int64) {
 	t := r.t
 	t.seq++
 	ev := Event{Seq: t.seq, VT: t.sim.Now(), Rank: r.rank, Kind: kind, Name: name, A: a, B: b, C: c}
+	if t.stream != nil {
+		t.stream.write(ev)
+	}
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 	} else {
@@ -307,6 +318,12 @@ func (r *Recorder) CopierDrain(stream string, bytes int) {
 // CkptLoad marks the recovery reader replaying a stream.
 func (r *Recorder) CkptLoad(stream string, bytes, frames int) {
 	r.emit(KindCkptLoad, stream, int64(bytes), int64(frames), 0)
+}
+
+// CkptCorrupt marks a corrupted or torn checkpoint stream being quarantined:
+// valid bytes were kept, total-valid bytes were truncated away.
+func (r *Recorder) CkptCorrupt(stream string, valid, total int) {
+	r.emit(KindCkptCorrupt, stream, int64(valid), int64(total), 0)
 }
 
 // FailureInject marks the failure injector firing against a rank.
