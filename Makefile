@@ -15,14 +15,17 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 5s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeState$$' -fuzztime 5s
 
+# Runs the raw benchmarks for eyeballing, then the hard gate: the test fails
+# if the disabled tracer path allocates or regresses past one-branch cost.
 bench-overhead:
 	$(GO) test ./internal/trace -run '^$$' -bench TracerOverhead -benchmem
+	FTMR_OVERHEAD_GATE=1 $(GO) test ./internal/trace -run '^TestTracerOverheadGate$$' -v

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ftmrmpi/internal/bench"
+	"ftmrmpi/internal/core"
 )
 
 func main() {
@@ -26,12 +27,19 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps (same as FTMR_QUICK=1)")
 	tracePfx := flag.String("trace", "", "write per-run event traces to <prefix>-NNN files")
 	traceFmt := flag.String("trace-format", "chrome", "trace format: jsonl | chrome")
+	lbModel := flag.String("lb-model", "static", "load-balancer regression model: static | trace")
 	flag.Parse()
 
 	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
 		fmt.Fprintf(os.Stderr, "unknown trace format %q (jsonl|chrome)\n", *traceFmt)
 		os.Exit(2)
 	}
+	lbm, err := core.ParseLBModel(*lbModel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bench.SetLBModel(lbm)
 	if *tracePfx != "" {
 		bench.EnableTracing(0)
 	}

@@ -51,6 +51,7 @@ func main() {
 		kills     = flag.Int("kills", 0, "continuous failures: total ranks to kill")
 		killEvery = flag.Duration("kill-every", 20*time.Millisecond, "continuous failure interval")
 		restart   = flag.Bool("restart", false, "after an aborted CR run, resubmit with Resume")
+		lbModel   = flag.String("lb-model", "static", "load-balancer regression model: static | trace")
 		iters     = flag.Int("iters", 2, "iterations (pagerank/bfs)")
 		asJSON    = flag.Bool("json", false, "emit results as JSON lines")
 		tracePath = flag.String("trace", "", "write an event trace to this file")
@@ -70,6 +71,11 @@ func main() {
 	}
 
 	m, err := parseModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	lbm, err := core.ParseLBModel(*lbModel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -102,6 +108,7 @@ func main() {
 		CkptInterval: *interval,
 		Prefetch:     *prefetch,
 		LoadBalance:  true,
+		LBModel:      lbm,
 	}
 	if *gran == "chunk" {
 		base.Granularity = core.GranChunk
@@ -118,6 +125,7 @@ func main() {
 		spec := workloads.WordcountSpec("job", "in/job", *procs, p)
 		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
 		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
+		spec.LBModel = base.LBModel
 		h = core.RunSingle(clus, spec)
 	case "blast":
 		p := workloads.DefaultBlast()
@@ -125,6 +133,7 @@ func main() {
 		spec := workloads.BlastSpec("job", "in/job", *procs, p)
 		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
 		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
+		spec.LBModel = base.LBModel
 		h = core.RunSingle(clus, spec)
 	case "pagerank":
 		p := workloads.DefaultPageRank()

@@ -165,6 +165,15 @@ func (s Scale) wcParams() workloads.WordcountParams {
 	return p
 }
 
+// lbModel is the balancer model every figure's spec inherits (the
+// ftmr-bench -lb-model flag; LBStatic by default so existing figures keep
+// their exact pre-flag behaviour).
+var lbModel core.LBModelKind
+
+// SetLBModel selects the load-balancer regression model for subsequently
+// built specs.
+func SetLBModel(k core.LBModelKind) { lbModel = k }
+
 // ftSpec applies the evaluation's default FT-MRMPI configuration: the two
 // §5 refinements are disabled for fair comparison (§6.2) and re-enabled
 // only by the figures that measure them.
@@ -174,6 +183,7 @@ func ftSpec(spec core.Spec, model core.Model) core.Spec {
 	spec.Prefetch = false
 	spec.CkptInterval = 100
 	spec.LoadBalance = true
+	spec.LBModel = lbModel
 	return spec
 }
 

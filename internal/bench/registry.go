@@ -33,6 +33,7 @@ func Figures() []Figure {
 		{"abl-gossip", ablGossip, "ablation: master status-gossip cadence"},
 		{"abl-queue", ablQueue, "ablation: gang-scheduler queue wait for CR resubmission"},
 		{"abl-combiner", ablCombiner, "ablation: local pre-reduction (compress) before the shuffle"},
+		{"abl-lb-trace", ablLBTrace, "ablation: static vs trace-driven balancing under an injected straggler"},
 	}
 }
 

@@ -228,6 +228,11 @@ type Spec struct {
 	// LoadBalance enables the regression-based balancer for redistribution
 	// (§3.4); when disabled, failed work is split evenly.
 	LoadBalance bool
+	// LBModel selects the balancer's regression model: LBStatic (default)
+	// is the paper's whole-history OLS over input size; LBTrace adds the
+	// tracer's observed per-rank cost features (recency-weighted task
+	// timings, checkpoint stall, pending-partition debt).
+	LBModel LBModelKind
 
 	// Resume makes a checkpoint/restart job recover from the checkpoints
 	// left by a previous attempt with the same JobID.

@@ -233,6 +233,7 @@ func (cp *copier) copyStream(p *vtime.Proc, stream string) {
 		return
 	}
 	delta := data[have:]
+	cp.rec.CopierBegin(stream, len(delta))
 	// Read only the new suffix from the local disk.
 	cp.metrics.CopierIO += cp.local.Charge(p, 1, len(delta))
 	// CPU for the copy path (shared with the main thread on this core).
@@ -255,10 +256,12 @@ func (cp *copier) copyStream(p *vtime.Proc, stream string) {
 		// Give up on this delta (clean rollback, no durability advance); a
 		// later drain of the stream retries the whole suffix.
 		cp.pfs.Truncate(path, pre)
+		cp.rec.CopierEnd(stream, len(delta))
 		return
 	}
 	cp.copied[stream] = total
 	cp.rec.CopierDrain(stream, len(delta))
+	cp.rec.CopierEnd(stream, len(delta))
 }
 
 // enqueue schedules a stream drain.
@@ -298,6 +301,7 @@ type ckptWriter struct {
 	cp      *copier
 	m       *RankMetrics
 	rec     *trace.Recorder
+	agent   *lbAgent // fed phase-boundary drain stalls (trace LB model)
 }
 
 // write appends encoded frame bytes to a stream, charging frames small
@@ -346,7 +350,11 @@ func (w *ckptWriter) phaseSync(p *vtime.Proc) {
 	if w.enabled && w.loc == LocLocalCopier && w.cp != nil {
 		t0 := p.Now()
 		w.cp.drainWait(p)
-		w.m.IOWait += p.Now() - t0
+		d := p.Now() - t0
+		w.m.IOWait += d
+		if w.agent != nil {
+			w.agent.noteStall(d)
+		}
 	}
 }
 

@@ -2,15 +2,17 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestFitRecoversLinearModel(t *testing.T) {
 	a := lbAgent{}
 	// t = 2 + 0.5·D
-	for _, d := range []float64{100, 200, 400, 800} {
-		a.observe(int(d), 2+0.5*d)
+	for i, d := range []float64{100, 200, 400, 800} {
+		a.observe(int(d), 2+0.5*d, time.Duration(i)*time.Millisecond)
 	}
 	ic, sl := a.fit()
 	if math.Abs(ic-2) > 1e-9 || math.Abs(sl-0.5) > 1e-9 {
@@ -20,8 +22,8 @@ func TestFitRecoversLinearModel(t *testing.T) {
 
 func TestFitDegenerateSameSize(t *testing.T) {
 	a := lbAgent{}
-	a.observe(100, 5)
-	a.observe(100, 5)
+	a.observe(100, 5, 0)
+	a.observe(100, 5, time.Millisecond)
 	_, sl := a.fit()
 	if math.Abs(sl-0.05) > 1e-9 {
 		t.Fatalf("slope = %g, want rate 0.05", sl)
@@ -33,6 +35,131 @@ func TestFitEmpty(t *testing.T) {
 	ic, sl := a.fit()
 	if sl <= 0 || ic != 0 {
 		t.Fatalf("neutral model = (%g, %g)", ic, sl)
+	}
+}
+
+// Property (satellite #1): for 50 seeds, synthesize noisy observations from a
+// known ground-truth model t = a + b·D and check that both the static OLS fit
+// and the recency-weighted trace fit recover (a, b) within tolerance. The
+// process is stationary, so the decay weighting must not bias the estimate —
+// only widen its variance slightly.
+func TestPropFitRecoversKnownModel(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		trueA := 0.5 + rng.Float64()*4      // intercept in [0.5, 4.5) s
+		trueB := 1e-6 * (1 + rng.Float64()) // slope in [1, 2) µs/byte
+
+		a := lbAgent{}
+		now := time.Duration(0)
+		for i := 0; i < 40; i++ {
+			bytes := 50_000 + rng.Intn(950_000)
+			noise := 1 + 0.01*(rng.Float64()*2-1) // ±1% multiplicative
+			secs := (trueA + trueB*float64(bytes)) * noise
+			now += time.Duration(1+rng.Intn(20)) * time.Millisecond
+			a.observe(bytes, secs, now)
+		}
+
+		check := func(name string, ic, sl float64) {
+			t.Helper()
+			if relErr(ic, trueA) > 0.10 {
+				t.Fatalf("seed %d: %s intercept = %g, want %g (±10%%)", seed, name, ic, trueA)
+			}
+			if relErr(sl, trueB) > 0.10 {
+				t.Fatalf("seed %d: %s slope = %g, want %g (±10%%)", seed, name, sl, trueB)
+			}
+		}
+		ic, sl := a.fit()
+		check("static", ic, sl)
+		ic, sl = a.fitTrace(now)
+		check("trace", ic, sl)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// The trace fit's reason to exist: a rank that turns slow late in the run.
+// The static whole-history fit averages the slowdown away; the time-decayed
+// fit prices the recent slow samples at close to their true rate.
+func TestFitTraceCatchesLateSlowdown(t *testing.T) {
+	const baseRate = 1e-6 // s/byte
+	const factor = 8.0
+	a := lbAgent{}
+	now := time.Duration(0)
+	// 20 fast tasks, then the rank throttles: 2 tasks at 8x, each taking 8x
+	// the wall time (so they cover most of the recent timeline).
+	for i := 0; i < 20; i++ {
+		bytes := 100_000
+		secs := baseRate * float64(bytes)
+		now += time.Duration(secs * float64(time.Second))
+		a.observe(bytes, secs, now)
+	}
+	for i := 0; i < 2; i++ {
+		bytes := 100_000
+		secs := factor * baseRate * float64(bytes)
+		now += time.Duration(secs * float64(time.Second))
+		a.observe(bytes, secs, now)
+	}
+	_, staticSlope := a.fit()
+	_, traceSlope := a.fitTrace(now)
+	// Static: 20 fast + 2 slow same-size samples → rate ≈ (20+16)/22 ≈ 1.6x.
+	if staticSlope > 2*baseRate {
+		t.Fatalf("static slope = %g, expected averaged-away (< %g)", staticSlope, 2*baseRate)
+	}
+	// Trace: the two newest samples span most of the window's recent
+	// timeline, so the estimate must land much closer to the true 8x rate.
+	if traceSlope < 4*baseRate {
+		t.Fatalf("trace slope = %g, want ≥ %g (recency weighting must catch the slowdown)", traceSlope, 4*baseRate)
+	}
+}
+
+func TestFitTraceFallsBackUnderTwoObs(t *testing.T) {
+	a := lbAgent{}
+	ic, sl := a.fitTrace(time.Second)
+	wic, wsl := a.fit()
+	if ic != wic || sl != wsl {
+		t.Fatalf("empty fitTrace = (%g, %g), want static fallback (%g, %g)", ic, sl, wic, wsl)
+	}
+	a.observe(100, 5, time.Millisecond)
+	ic, sl = a.fitTrace(time.Second)
+	wic, wsl = a.fit()
+	if ic != wic || sl != wsl {
+		t.Fatalf("1-obs fitTrace = (%g, %g), want static fallback (%g, %g)", ic, sl, wic, wsl)
+	}
+}
+
+func TestFitTraceStallInflatesSlope(t *testing.T) {
+	mk := func(stall time.Duration) float64 {
+		a := lbAgent{}
+		now := time.Duration(0)
+		for i := 0; i < 4; i++ {
+			now += 10 * time.Millisecond
+			a.observe(100_000, 0.1, now)
+		}
+		a.noteStall(stall)
+		_, sl := a.fitTrace(now)
+		return sl
+	}
+	base := mk(0)
+	// Stall equal to half the task time → slope inflated 1.5x.
+	inflated := mk(200 * time.Millisecond)
+	if relErr(inflated, 1.5*base) > 1e-6 {
+		t.Fatalf("stalled slope = %g, want 1.5x base %g", inflated, base)
+	}
+	// The inflation caps at 2x however large the stall history.
+	capped := mk(time.Hour)
+	if relErr(capped, 2*base) > 1e-6 {
+		t.Fatalf("capped slope = %g, want 2x base %g", capped, base)
+	}
+}
+
+func TestNoteStallIgnoresNonPositive(t *testing.T) {
+	a := lbAgent{}
+	a.noteStall(-time.Second)
+	a.noteStall(0)
+	if a.stall != 0 {
+		t.Fatalf("stall = %v, want 0", a.stall)
 	}
 }
 
@@ -81,6 +208,35 @@ func TestBalanceWorkAccountsBacklog(t *testing.T) {
 	}
 }
 
+func TestBalanceWorkAccountsDebt(t *testing.T) {
+	// Equal speeds and backlogs, but process 0 owes a second of pending
+	// partition work: the debt must push pieces to process 1 exactly the way
+	// an equivalent backlog would.
+	models := []lbModel{
+		{Rank: 0, Slope: 1e-6, Debt: 1},
+		{Rank: 1, Slope: 1e-6},
+	}
+	pieces := []float64{100, 100, 100, 100}
+	out := balanceWork(models, pieces)
+	if len(out[1]) <= len(out[0]) {
+		t.Fatalf("debt-free process got %d pieces, indebted got %d", len(out[1]), len(out[0]))
+	}
+	// And a zero debt is arithmetically invisible: same assignment as a model
+	// that never had the field.
+	a := balanceWork([]lbModel{{Rank: 0, Slope: 1e-6, Backlog: 500}, {Rank: 1, Slope: 2e-6}}, pieces)
+	b := balanceWork([]lbModel{{Rank: 0, Slope: 1e-6, Backlog: 500, Debt: 0}, {Rank: 1, Slope: 2e-6, Debt: 0}}, pieces)
+	for j := range a {
+		if len(a[j]) != len(b[j]) {
+			t.Fatalf("zero debt changed assignment: %v vs %v", a, b)
+		}
+		for i := range a[j] {
+			if a[j][i] != b[j][i] {
+				t.Fatalf("zero debt changed assignment: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
 // Property: every piece is assigned exactly once, whatever the models.
 func TestPropBalanceWorkIsPartition(t *testing.T) {
 	f := func(slopes []uint16, nPieces uint8) bool {
@@ -92,7 +248,7 @@ func TestPropBalanceWorkIsPartition(t *testing.T) {
 		}
 		models := make([]lbModel, len(slopes))
 		for i, s := range slopes {
-			models[i] = lbModel{Rank: i, Slope: float64(s%1000+1) * 1e-7, Backlog: float64(s % 3000)}
+			models[i] = lbModel{Rank: i, Slope: float64(s%1000+1) * 1e-7, Backlog: float64(s % 3000), Debt: float64(s % 7)}
 		}
 		pieces := make([]float64, int(nPieces)%64)
 		for i := range pieces {
@@ -124,5 +280,26 @@ func TestEvenSplitRoundRobin(t *testing.T) {
 	out := evenSplit(3, 7)
 	if len(out[0]) != 3 || len(out[1]) != 2 || len(out[2]) != 2 {
 		t.Fatalf("split = %v", out)
+	}
+}
+
+func TestParseLBModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want LBModelKind
+		err  bool
+	}{
+		{"", LBStatic, false},
+		{"static", LBStatic, false},
+		{"trace", LBTrace, false},
+		{"bogus", 0, true},
+	} {
+		got, err := ParseLBModel(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseLBModel(%q) = (%v, %v)", tc.in, got, err)
+		}
+	}
+	if LBStatic.String() != "static" || LBTrace.String() != "trace" {
+		t.Fatalf("String() = %q / %q", LBStatic.String(), LBTrace.String())
 	}
 }

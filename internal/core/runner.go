@@ -125,6 +125,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		outLen:     make(map[int]uint64),
 		statusTag:  tagStatusBase + j.jobIdx,
 	}
+	r.lb.kind = spec.LBModel
 	clus := j.clus
 	local := clus.LocalOf(c.Self().WorldRank())
 	r.ck = &ckptWriter{
@@ -135,6 +136,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		pfs:     clus.PFS,
 		m:       m,
 		rec:     r.rec,
+		agent:   &r.lb,
 	}
 	if local == nil {
 		r.ck.loc = LocDirectPFS
@@ -347,7 +349,12 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 			r.m.Recovery.LoadCkpt += r.p.Now() - t1
 		}
 		if taskComplete {
-			r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds())
+			// Static keeps the paper's behaviour of sampling every completed
+			// task, but a fully-restored task only measures replay cost and
+			// makes the rank look falsely fast; the trace model drops it.
+			if r.lb.kind == LBStatic {
+				r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds(), r.p.Now())
+			}
 			r.rec.TaskCommit("map", id, int64(restoredRecs))
 			return nil
 		}
@@ -473,7 +480,7 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 		fr := encodeFrame(nil, frameTaskDone, uint32(id), rec, payload)
 		r.ck.write(r.p, stream, fr, 1)
 	}
-	r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds())
+	r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds(), r.p.Now())
 	r.rec.TaskCommit("map", id, int64(rec))
 	return nil
 }
@@ -1291,8 +1298,32 @@ type survivorState struct {
 	tasks      []uint32 // map tasks this rank owns (done ones: output held)
 }
 
+// pendingDebtBytes is the merged-but-unconverted data of this rank's owned
+// partitions: committed work (convert + reduce) that Backlog (map input
+// bytes) does not cover. Only the trace model publishes it.
+func (r *runner) pendingDebtBytes() float64 {
+	var bytes float64
+	for _, part := range r.ownedParts() {
+		if r.kmv[part] == nil && r.parts[part] != nil {
+			bytes += float64(r.parts[part].Size())
+		}
+	}
+	return bytes
+}
+
+// partDebtCPUFactor scales a map-throughput slope to the convert+reduce
+// cost of one merged partition byte (the downstream phases touch each byte
+// fewer times than the map's tokenize/partition path).
+const partDebtCPUFactor = 0.5
+
 func (r *runner) encodeState() []byte {
 	a, b := r.lb.fit()
+	debt := 0.0
+	if r.lb.kind == LBTrace {
+		a, b = r.lb.fitTrace(r.p.Now())
+		debt = b * partDebtCPUFactor * r.pendingDebtBytes()
+	}
+	r.rec.LBFit(r.lb.kind.String(), a, b, len(r.lb.obs))
 	var buf []byte
 	var tmp [8]byte
 	buf = append(buf, byte(r.phase))
@@ -1321,6 +1352,13 @@ func (r *runner) encodeState() []byte {
 	for _, t := range owned {
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(t))
 		buf = append(buf, tmp[:4]...)
+	}
+	// Trace-model extension: one trailing float64 (Debt seconds). Static
+	// appends nothing, keeping its wire form — and hence the allgather's
+	// virtual timing — byte-identical to the paper model.
+	if r.lb.kind == LBTrace {
+		binary.LittleEndian.PutUint64(tmp[:], floatBits(debt))
+		buf = append(buf, tmp[:]...)
 	}
 	return buf
 }
@@ -1376,7 +1414,13 @@ func decodeState(data []byte) (survivorState, error) {
 	if s.tasks, err = readList(); err != nil {
 		return s, err
 	}
-	if len(data) != 0 {
+	switch len(data) {
+	case 0:
+		// Static model: no extension block.
+	case 8:
+		// Trace-model extension: Debt seconds.
+		s.model.Debt = floatFrom(binary.LittleEndian.Uint64(data))
+	default:
 		return s, fmt.Errorf("core: survivor state: %d trailing bytes", len(data))
 	}
 	return s, nil

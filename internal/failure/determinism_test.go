@@ -1,0 +1,109 @@
+// Determinism suite (satellite #3): the simulator's whole pipeline — chaos
+// kills, storage faults, recovery, and both load-balancer models — must be a
+// pure function of (seed, config). Two identical runs have to produce
+// byte-identical streamed JSONL traces and byte-identical output partitions;
+// any divergence means hidden state (map iteration order, wall-clock leakage,
+// unseeded randomness) crept into the virtual-time path.
+package failure
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/workloads"
+)
+
+func TestIdenticalRunsAreByteIdentical(t *testing.T) {
+	const (
+		name = "det"
+		seed = 7
+	)
+	p := chaosCorpus()
+
+	// A failure-free probe fixes the chaos window relative to the job's
+	// actual length so the seeded kills land mid-run.
+	probe := chaosCluster()
+	workloads.GenCorpus(probe, "in/"+name, p)
+	hp := core.RunSingle(probe, chaosSpec(name, p))
+	probe.Sim.Run()
+	if res := hp.Result(); res == nil || res.Aborted {
+		t.Fatalf("probe did not complete: %+v", res)
+	}
+	window := probe.Sim.Now() * 6 / 10
+
+	type outcome struct {
+		jsonl   []byte
+		parts   [][]byte
+		elapsed time.Duration
+		failed  int
+	}
+	run := func(t *testing.T, kind core.LBModelKind) outcome {
+		t.Helper()
+		clus := chaosCluster()
+		workloads.GenCorpus(clus, "in/"+name, p)
+		var jsonl bytes.Buffer
+		clus.Trace.StreamJSONL(&jsonl)
+		StorageFaults(clus, seed)
+
+		spec := chaosSpec(name, p)
+		spec.LBModel = kind
+		h := core.RunSingle(clus, spec)
+		Chaos(h, seed, 2, window)
+		clus.Sim.Run()
+
+		res := h.Result()
+		if res == nil || res.Aborted {
+			t.Fatalf("run aborted or never started: %+v", res)
+		}
+		if st := clus.Sim.Stranded(); len(st) != 0 {
+			t.Fatalf("stranded procs: %v", st)
+		}
+		if err := clus.Trace.FlushStream(); err != nil {
+			t.Fatalf("stream sink: %v", err)
+		}
+		return outcome{
+			jsonl:   jsonl.Bytes(),
+			parts:   readParts(clus, name),
+			elapsed: res.Elapsed(),
+			failed:  len(res.FailedRanks),
+		}
+	}
+
+	for _, kind := range []core.LBModelKind{core.LBStatic, core.LBTrace} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			a := run(t, kind)
+			b := run(t, kind)
+			if a.failed == 0 {
+				t.Fatal("no rank was killed: the scenario never exercised recovery")
+			}
+			if a.elapsed != b.elapsed {
+				t.Fatalf("virtual completion times differ: %v vs %v", a.elapsed, b.elapsed)
+			}
+			if a.failed != b.failed {
+				t.Fatalf("failed-rank counts differ: %d vs %d", a.failed, b.failed)
+			}
+			if !bytes.Equal(a.jsonl, b.jsonl) {
+				al, bl := bytes.Split(a.jsonl, []byte("\n")), bytes.Split(b.jsonl, []byte("\n"))
+				n := len(al)
+				if len(bl) < n {
+					n = len(bl)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(al[i], bl[i]) {
+						t.Fatalf("streamed traces diverge at line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+					}
+				}
+				t.Fatalf("streamed traces differ in length: %d vs %d lines", len(al), len(bl))
+			}
+			for i := range a.parts {
+				if !bytes.Equal(a.parts[i], b.parts[i]) {
+					t.Fatalf("output partition %d differs between identical runs (%d vs %d bytes)",
+						i, len(a.parts[i]), len(b.parts[i]))
+				}
+			}
+		})
+	}
+}

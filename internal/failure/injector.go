@@ -31,6 +31,27 @@ func KillAt(w *mpi.World, rank int, at time.Duration) {
 	w.Sim.After(d, func() { inject(w, rank) })
 }
 
+// SlowRank turns a world rank into a straggler at an absolute virtual time:
+// from `at` on, the rank's compute charges stretch by factor (thermal
+// throttling, a failing DIMM, a noisy neighbour). The rank stays alive and
+// produces correct output — it is only slower, which is exactly the case
+// the trace-driven load balancer must price and the static §3.4 fit
+// averages away. factor <= 1 restores normal speed.
+func SlowRank(w *mpi.World, rank int, factor float64, at time.Duration) {
+	d := at - w.Sim.Now()
+	if d < 0 {
+		d = 0
+	}
+	w.Sim.After(d, func() {
+		r := w.Rank(rank)
+		if r == nil || !r.Alive() {
+			return
+		}
+		w.Clus.Trace.Global().SlowRank(rank, factor)
+		r.SetComputeScale(factor)
+	})
+}
+
 // KillOnPhase kills a world rank the first time it enters the given phase,
 // after an optional extra delay.
 func KillOnPhase(h *core.Handle, rank int, ph core.Phase, delay time.Duration) {

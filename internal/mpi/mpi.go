@@ -93,6 +93,9 @@ type Rank struct {
 	cpu   *vtime.Bandwidth
 	node  *cluster.Node
 	alive bool
+	// computeScale stretches Compute charges when > 0 (straggler
+	// injection); zero means unscaled, keeping the hot path branch-cheap.
+	computeScale float64
 	// rec is the rank's trace recorder; nil when tracing is disabled, so
 	// every hot-path instrumentation point costs a single nil branch.
 	rec *trace.Recorder
@@ -116,9 +119,22 @@ func (r *Rank) WorldRank() int { return r.world }
 // Alive reports whether the rank has not failed.
 func (r *Rank) Alive() bool { return r.alive }
 
+// SetComputeScale stretches every subsequent Compute charge by factor
+// (straggler injection: the rank stays alive and correct, only slower).
+// factor <= 0 or 1 restores normal speed.
+func (r *Rank) SetComputeScale(factor float64) {
+	if factor == 1 {
+		factor = 0
+	}
+	r.computeScale = factor
+}
+
 // Compute charges sec seconds of CPU work against the rank's core
 // (processor-shared with any agent threads on the same core).
 func (r *Rank) Compute(p *vtime.Proc, sec float64) {
+	if r.computeScale > 0 {
+		sec *= r.computeScale
+	}
 	if sec > 0 {
 		r.cpu.Acquire(p, sec)
 	}

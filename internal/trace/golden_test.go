@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Golden-trace test (satellite #2): a committed JSONL fixture must decode
+// through ReadJSONL, Summarize, and Skew to exactly these values. The fixture
+// is the wire-format contract — if an encoder, kind name, or aggregation rule
+// drifts, this test pins down what changed.
+func TestGoldenTraceSummarizeAndSkew(t *testing.T) {
+	f, err := os.Open("testdata/golden.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 20 {
+		t.Fatalf("decoded %d events, want 20", len(events))
+	}
+	// Spot-check decoding of a new-in-this-PR kind.
+	if ev := events[2]; ev.Kind != KindSlowRank || ev.Rank != GlobalRank || ev.A != 1 || ev.B != 6000 {
+		t.Fatalf("event 3 decoded as %+v, want failure.slow on the world track", ev)
+	}
+	if ev := events[11]; ev.Kind != KindLBFit || ev.Name != "trace" || ev.A != 2000000 || ev.B != 1500000 || ev.C != 7 {
+		t.Fatalf("event 12 decoded as %+v, want lb.fit", ev)
+	}
+
+	s := Summarize(events)
+	r0 := s.Rank(0)
+	check := func(what string, got, want any) {
+		t.Helper()
+		if got != want {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+	check("rank0 map", r0.Phase[PhaseNameMap], 10*time.Millisecond)
+	check("rank0 merge", r0.Phase[PhaseNameConvert], 3*time.Millisecond)
+	check("rank0 reduce", r0.Phase[PhaseNameReduce], 12*time.Millisecond)
+	check("rank0 copier time", r0.CopierTime, 500*time.Microsecond)
+	check("rank0 copier bytes", r0.CopierBytes, int64(4096))
+	check("rank0 recoveries", r0.Recoveries, 1)
+	check("rank0 recovery time", r0.RecoveryTime, 3*time.Millisecond)
+	check("rank0 coll time", r0.CollTime, 100*time.Microsecond)
+	check("rank0 task commits", r0.TaskCommits, int64(1))
+	check("rank0 lb fits", r0.LBFits, int64(1))
+
+	r1 := s.Rank(1)
+	check("rank1 map", r1.Phase[PhaseNameMap], 22*time.Millisecond)
+	check("rank1 reduce", r1.Phase[PhaseNameReduce], 4*time.Millisecond)
+	check("rank1 lb fits", r1.LBFits, int64(0))
+
+	skew := s.Skew()
+	// The world track (failure.slow at rank -1) must not appear as a rank.
+	check("skew ranks", len(skew.Ranks), 2)
+	sk0 := skew.RankSkew(0)
+	check("skew0 busy", sk0.Busy, 25*time.Millisecond)
+	check("skew0 copier", sk0.Copier, 500*time.Microsecond)
+	check("skew0 recovery", sk0.Recovery, 3*time.Millisecond)
+	check("skew0 coll", sk0.Coll, 100*time.Microsecond)
+	sk1 := skew.RankSkew(1)
+	check("skew1 busy", sk1.Busy, 26*time.Millisecond)
+	check("skew1 shuffle", sk1.Shuffle, time.Duration(0))
+
+	check("mean busy", skew.MeanBusy, 25500*time.Microsecond)
+	check("max busy", skew.MaxBusy, 26*time.Millisecond)
+	check("slowest rank", skew.SlowestRank, 1)
+	wantImb := float64(26*time.Millisecond) / float64(25500*time.Microsecond)
+	check("imbalance", skew.Imbalance, wantImb)
+}
+
+// An unknown kind or torn line must error, not silently drop.
+func TestReadJSONLRejectsDamage(t *testing.T) {
+	for _, bad := range []string{
+		`{"seq":1,"vt_us":0,"rank":0,"kind":"no.such.kind"}`,
+		`{"seq":1,"vt_us":0,"rank":0,`,
+	} {
+		if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadJSONL(%q) succeeded, want error", bad)
+		}
+	}
+}

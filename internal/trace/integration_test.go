@@ -263,6 +263,89 @@ func TestRecoveryCausalOrder(t *testing.T) {
 	}
 }
 
+// TestChromeCopierThreadInterleavesWithMain checks the paper's Fig 7 claim
+// as rendered by the Chrome sink: local-copier drains get B/E spans on the
+// dedicated copier thread track (tid 2) of each rank's process, and at least
+// one of them runs concurrently with a phase span on the same rank's main
+// thread (tid 1) — the background copy overlaps foreground compute instead
+// of serializing with it.
+func TestChromeCopierThreadInterleavesWithMain(t *testing.T) {
+	const killRank = 3
+	_, tr := tracedFailover(t, killRank, core.PhaseReduce)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+
+	type span struct{ begin, end float64 }
+	copier := map[int][]span{}  // pid -> matched copy:* spans on tid 2
+	phases := map[int][]span{}  // pid -> matched phase spans on tid 1
+	open := map[[2]int][]float64{} // (pid, tid) -> B stack (Chrome B/E pair per-thread, LIFO)
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "B" && ev.Ph != "E" {
+			continue
+		}
+		onCopier := ev.TID == 2 && ev.Cat == "ckpt"
+		onMain := ev.TID == 1 && ev.Cat == "phase"
+		if !onCopier && !onMain {
+			continue
+		}
+		key := [2]int{ev.PID, ev.TID}
+		if ev.Ph == "B" {
+			open[key] = append(open[key], ev.TS)
+			continue
+		}
+		stack := open[key]
+		if len(stack) == 0 {
+			t.Fatalf("unmatched E event %q on pid %d tid %d", ev.Name, ev.PID, ev.TID)
+		}
+		sp := span{stack[len(stack)-1], ev.TS}
+		open[key] = stack[:len(stack)-1]
+		if onCopier {
+			copier[ev.PID] = append(copier[ev.PID], sp)
+		} else {
+			phases[ev.PID] = append(phases[ev.PID], sp)
+		}
+	}
+	for key, stack := range open {
+		// The victim dies mid-span; only survivors must balance their spans.
+		if key[0] != killRank && len(stack) != 0 {
+			t.Errorf("pid %d tid %d left %d spans unclosed", key[0], key[1], len(stack))
+		}
+	}
+	if len(copier) == 0 {
+		t.Fatal("no copy:* spans on any copier thread track (tid 2)")
+	}
+
+	interleaved := 0
+	for pid, cs := range copier {
+		for _, c := range cs {
+			for _, m := range phases[pid] {
+				if c.begin < m.end && m.begin < c.end {
+					interleaved++
+				}
+			}
+		}
+	}
+	if interleaved == 0 {
+		t.Fatal("no copier span overlaps a main-thread phase span on its own rank: background copies are serialized with compute")
+	}
+}
+
 // benchPingPong measures a 2-rank ping-pong through the full simulated MPI
 // stack, with and without a tracer attached, to bound the end-to-end cost
 // of the disabled instrumentation (compare the two benchmarks).

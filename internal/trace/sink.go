@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Sinks. The in-memory sink is the Tracer itself (Events / EventsFor); this
@@ -135,7 +136,8 @@ func chromePID(rank int) int {
 
 // chromeKindTID maps an event kind to the thread track it renders on.
 func chromeKindTID(k Kind) int {
-	if k == KindCopierDrain {
+	switch k {
+	case KindCopierDrain, KindCopierBegin, KindCopierEnd:
 		return chromeTidCopier
 	}
 	return chromeTidMain
@@ -217,6 +219,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		case KindCopierDrain:
 			out = append(out, instant(ev, "ckpt", "drain:"+ev.Name,
 				map[string]any{"bytes": ev.A}))
+		case KindCopierBegin:
+			out = append(out, span(ev, "B", "ckpt", "copy:"+ev.Name,
+				map[string]any{"bytes": ev.A}))
+		case KindCopierEnd:
+			out = append(out, span(ev, "E", "ckpt", "copy:"+ev.Name,
+				map[string]any{"bytes": ev.A}))
 		case KindCkptLoad:
 			out = append(out, instant(ev, "ckpt", "load:"+ev.Name,
 				map[string]any{"bytes": ev.A, "frames": ev.B}))
@@ -245,6 +253,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		case KindLoadBalance:
 			out = append(out, instant(ev, "runner", "lb:"+ev.Name,
 				map[string]any{"pieces": ev.A, "survivors": ev.B}))
+		case KindLBFit:
+			out = append(out, instant(ev, "runner", "lb.fit:"+ev.Name,
+				map[string]any{"intercept_ns": ev.A, "slope_ps_per_byte": ev.B, "obs": ev.C}))
+		case KindSlowRank:
+			out = append(out, instant(ev, "failure", fmt.Sprintf("slow:w%d", ev.A),
+				map[string]any{"factor_permille": ev.B}))
 		case KindTaskCommit:
 			out = append(out, instant(ev, "runner", fmt.Sprintf("commit:%s:%d", ev.Name, ev.A),
 				map[string]any{"count": ev.B}))
@@ -272,6 +286,55 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// kindByName is the inverse of kindNames, for decoding JSONL traces.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// ReadJSONL decodes a JSONL stream (as written by WriteJSONL or StreamJSONL)
+// back into events, in stored order. Blank lines are skipped; an unknown
+// kind string or malformed line is an error — trace files are produced by
+// this package, so damage should surface, not be silently dropped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return out, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return out, fmt.Errorf("trace: jsonl line %d: unknown kind %q", line, je.Kind)
+		}
+		out = append(out, Event{
+			Seq:  je.Seq,
+			VT:   time.Duration(je.VTus * 1e3),
+			Rank: je.Rank,
+			Kind: kind,
+			Name: je.Name,
+			A:    je.A,
+			B:    je.B,
+			C:    je.C,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // WriteFile writes the trace to path in the given format ("jsonl" or

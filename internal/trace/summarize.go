@@ -29,9 +29,11 @@ type RankSummary struct {
 	// Checkpoint activity.
 	CkptBytes, CkptFrames           int64
 	CopierBytes                     int64
+	CopierTime                      time.Duration // matched copier.begin/end spans
 	RecoveredBytes, RecoveredFrames int64
 
 	TaskCommits int64
+	LBFits      int64 // load-balancer model publications (lb.fit events)
 }
 
 // Summary is the full derivation over an event stream.
@@ -61,6 +63,8 @@ func Summarize(events []Event) *Summary {
 		recoveryOpen  bool
 		collDepth     int
 		collStart     time.Duration
+		copierStart   time.Duration
+		copierOpen    bool
 	}
 	open := make(map[int]*openState)
 	stateOf := func(rank int) *openState {
@@ -119,11 +123,22 @@ func Summarize(events []Event) *Summary {
 			rs.CkptFrames += ev.B
 		case KindCopierDrain:
 			rs.CopierBytes += ev.A
+		case KindCopierBegin:
+			// The copier drains one stream at a time, so spans never nest.
+			st.copierStart = ev.VT
+			st.copierOpen = true
+		case KindCopierEnd:
+			if st.copierOpen {
+				rs.CopierTime += ev.VT - st.copierStart
+				st.copierOpen = false
+			}
 		case KindCkptLoad:
 			rs.RecoveredBytes += ev.A
 			rs.RecoveredFrames += ev.B
 		case KindTaskCommit:
 			rs.TaskCommits++
+		case KindLBFit:
+			rs.LBFits++
 		}
 	}
 	return s

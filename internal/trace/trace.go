@@ -76,6 +76,21 @@ const (
 	// (Appended at the end of the block so earlier Kind values stay stable
 	// across trace-consuming tooling.)
 	KindCkptCorrupt
+
+	// Load-balancer model publication (a fit computed for a recovery
+	// allgather). Name=model kind ("static"|"trace"), A=intercept in
+	// nanoseconds, B=slope in picoseconds per byte, C=observation count.
+	KindLBFit
+
+	// Copier thread span: one drained stream suffix, rendered as a B/E span
+	// on the copier thread track so main/copier CPU interleaving (paper
+	// Fig 7) is directly visible. Name=stream, A=bytes.
+	KindCopierBegin
+	KindCopierEnd
+
+	// Straggler injection: a rank's compute charges stretch from here on.
+	// A=world rank, B=slowdown factor in permille.
+	KindSlowRank
 )
 
 var kindNames = map[Kind]string{
@@ -103,6 +118,10 @@ var kindNames = map[Kind]string{
 	KindRecoveryBegin: "recovery.begin",
 	KindRecoveryEnd:   "recovery.end",
 	KindCkptCorrupt:   "ckpt.corrupt",
+	KindLBFit:         "lb.fit",
+	KindCopierBegin:   "copier.begin",
+	KindCopierEnd:     "copier.end",
+	KindSlowRank:      "failure.slow",
 }
 
 func (k Kind) String() string {
@@ -315,6 +334,18 @@ func (r *Recorder) CopierDrain(stream string, bytes int) {
 	r.emit(KindCopierDrain, stream, int64(bytes), 0, 0)
 }
 
+// CopierBegin / CopierEnd bracket one stream drain on the copier thread
+// track (the per-drain span behind the Fig 7 main/copier interleaving view;
+// CopierDrain remains the success instant).
+func (r *Recorder) CopierBegin(stream string, bytes int) {
+	r.emit(KindCopierBegin, stream, int64(bytes), 0, 0)
+}
+
+// CopierEnd closes the span opened by CopierBegin.
+func (r *Recorder) CopierEnd(stream string, bytes int) {
+	r.emit(KindCopierEnd, stream, int64(bytes), 0, 0)
+}
+
 // CkptLoad marks the recovery reader replaying a stream.
 func (r *Recorder) CkptLoad(stream string, bytes, frames int) {
 	r.emit(KindCkptLoad, stream, int64(bytes), int64(frames), 0)
@@ -361,6 +392,18 @@ func (r *Recorder) AgreeEnd(result int) { r.emit(KindAgreeEnd, "", int64(result)
 // LoadBalance marks a redistribution decision (what = "parts" or "tasks").
 func (r *Recorder) LoadBalance(what string, pieces, survivors int) {
 	r.emit(KindLoadBalance, what, int64(pieces), int64(survivors), 0)
+}
+
+// LBFit records the coefficients a rank publishes for a redistribution
+// round: intercept and slope of t = a + b·D, quantized to ns and ps/byte so
+// the event stays integer-valued, plus the observation count behind the fit.
+func (r *Recorder) LBFit(model string, interceptSec, slopeSecPerByte float64, nObs int) {
+	r.emit(KindLBFit, model, int64(interceptSec*1e9), int64(slopeSecPerByte*1e12), int64(nObs))
+}
+
+// SlowRank marks a straggler injection (factor quantized to permille).
+func (r *Recorder) SlowRank(rank int, factor float64) {
+	r.emit(KindSlowRank, "", int64(rank), int64(factor*1000), 0)
 }
 
 // TaskCommit marks a map task (what="map") or reduce partition progress

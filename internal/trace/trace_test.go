@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -32,6 +33,8 @@ func TestNilTracerAndRecorderAreNoOps(t *testing.T) {
 	rec.CollBegin("barrier")
 	rec.CollEnd("barrier")
 	rec.CkptCommit("map/t0", 10, 1)
+	rec.CopierBegin("map/t0", 10)
+	rec.CopierEnd("map/t0", 10)
 	rec.CopierDrain("map/t0", 10)
 	rec.CkptLoad("map/t0", 10, 1)
 	rec.FailureInject(1)
@@ -43,6 +46,8 @@ func TestNilTracerAndRecorderAreNoOps(t *testing.T) {
 	rec.AgreeBegin(1)
 	rec.AgreeEnd(1)
 	rec.LoadBalance("parts", 2, 3)
+	rec.LBFit("trace", 0.002, 1.5e-6, 7)
+	rec.SlowRank(1, 6.0)
 	rec.TaskCommit("map", 0, 5)
 	rec.RecoveryBegin()
 	rec.RecoveryEnd()
@@ -246,6 +251,33 @@ func TestSummarizeBasics(t *testing.T) {
 	}
 	if rs.TaskCommits != 1 {
 		t.Errorf("task commits = %d", rs.TaskCommits)
+	}
+}
+
+// TestTracerOverheadGate is the regression gate behind `make bench-overhead`
+// (part of `make check`): it re-measures the two overhead benchmarks with
+// testing.Benchmark and fails the build if the disabled (nil-recorder) path
+// ever allocates or stops being decisively cheaper than the live path — the
+// disabled call must stay at one-branch cost, so anything within 2x of a
+// real ring write means someone put work ahead of the nil check. Gated by
+// FTMR_OVERHEAD_GATE so wall-clock-sensitive timing never flakes the plain
+// `go test ./...` tier-1 run.
+func TestTracerOverheadGate(t *testing.T) {
+	if os.Getenv("FTMR_OVERHEAD_GATE") == "" {
+		t.Skip("set FTMR_OVERHEAD_GATE=1 (make bench-overhead) to run the timing gate")
+	}
+	disabled := testing.Benchmark(BenchmarkTracerOverheadDisabled)
+	enabled := testing.Benchmark(BenchmarkTracerOverheadEnabled)
+	t.Logf("disabled: %s\nenabled:  %s", disabled.String(), enabled.String())
+	if a := disabled.AllocsPerOp(); a != 0 {
+		t.Fatalf("disabled tracer path allocates (%d allocs/op); must be alloc-free", a)
+	}
+	if a := enabled.AllocsPerOp(); a != 0 {
+		t.Fatalf("enabled tracer path allocates (%d allocs/op) in ring steady state", a)
+	}
+	dis, en := disabled.NsPerOp(), enabled.NsPerOp()
+	if dis*2 > en {
+		t.Fatalf("disabled path too slow: %dns/op vs %dns/op enabled — the nil check is no longer the only cost", dis, en)
 	}
 }
 
