@@ -1,18 +1,24 @@
 GO ?= go
 
 # `make check` is the tier-1 gate (referenced from ROADMAP.md): static
-# checks, a full build, the race detector over the internals, the whole
-# test suite, a short fuzz of the checkpoint codecs, and the tracer-overhead
-# benchmark that keeps the disabled instrumentation path at one-branch cost.
-.PHONY: check vet build test race fuzz-smoke bench-overhead
+# checks, a full build (including every cmd/ binary), the race detector over
+# the internals, the whole test suite, a short fuzz of the checkpoint codecs,
+# the tracer-overhead benchmark that keeps the disabled instrumentation path
+# at one-branch cost, and the ftmr-trace fixture self-test.
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest
 
-check: vet build race test fuzz-smoke bench-overhead
+check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Every command must link as a real binary (go build ./... alone does not
+# write them), and they land in bin/ for the walkthroughs in README.md.
+build-cmds:
+	$(GO) build -o bin/ ./cmd/...
 
 test:
 	$(GO) test -shuffle=on ./...
@@ -29,3 +35,13 @@ fuzz-smoke:
 bench-overhead:
 	$(GO) test ./internal/trace -run '^$$' -bench TracerOverhead -benchmem
 	FTMR_OVERHEAD_GATE=1 $(GO) test ./internal/trace -run '^TestTracerOverheadGate$$' -v
+
+# CLI self-test over the committed fixtures (the same invariants the unit
+# tests pin, exercised through the real binary): self-diff is clean, the
+# injected-divergence pair is flagged (exit 1), and the v2 golden fixture
+# passes flow validation and summarizes.
+trace-selftest: build-cmds
+	bin/ftmr-trace diff internal/trace/testdata/golden_v2.jsonl internal/trace/testdata/golden_v2.jsonl
+	! bin/ftmr-trace diff internal/trace/testdata/div_a.jsonl internal/trace/testdata/div_b.jsonl >/dev/null
+	bin/ftmr-trace flows internal/trace/testdata/golden_v2.jsonl
+	bin/ftmr-trace summarize -skew internal/trace/testdata/golden_v2.jsonl >/dev/null

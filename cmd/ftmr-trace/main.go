@@ -1,0 +1,246 @@
+// Command ftmr-trace analyzes JSONL traces written by ftmr-sim -trace
+// (wire format: DESIGN.md §"Trace wire format v2"). Three subcommands:
+//
+//	ftmr-trace diff [-tol d] [-max n] A.jsonl B.jsonl
+//	    Align two traces of the same workload by (rank, kind, occurrence)
+//	    and report the first virtual-time divergence plus a per-phase
+//	    delta table. Same-seed runs must report zero divergence.
+//
+//	ftmr-trace summarize [-skew] T.jsonl
+//	    Per-rank aggregates (phase times, p2p volume, checkpoint bytes),
+//	    optionally with the cross-rank skew/imbalance view.
+//
+//	ftmr-trace flows T.jsonl
+//	    Validate send→recv message pairing via flow ids.
+//
+// Exit status: 0 clean, 1 divergence or flow violations found, 2 usage or
+// I/O error. Damaged traces (malformed lines) are reported on stderr but
+// analysis proceeds on the lines that decoded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ftmrmpi/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ftmr-trace <command> [flags] <trace.jsonl>...
+
+commands:
+  diff [-tol duration] [-max n] A.jsonl B.jsonl
+        align two traces, report first divergence + per-phase vt deltas
+  summarize [-skew] T.jsonl
+        per-rank aggregates derived from the event stream
+  flows T.jsonl
+        validate send->recv message pairing via flow ids
+
+exit status: 0 clean, 1 divergence/violations, 2 usage or I/O error
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "diff":
+		os.Exit(cmdDiff(os.Args[2:]))
+	case "summarize":
+		os.Exit(cmdSummarize(os.Args[2:]))
+	case "flows":
+		os.Exit(cmdFlows(os.Args[2:]))
+	default:
+		fmt.Fprintf(os.Stderr, "ftmr-trace: unknown command %q\n", os.Args[1])
+		usage()
+	}
+}
+
+// load reads one trace, reporting (not failing on) counted line damage.
+func load(path string) ([]trace.Event, error) {
+	events, rr, err := trace.ReadJSONLFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !rr.Clean() {
+		fmt.Fprintf(os.Stderr, "ftmr-trace: warning: %s: %v\n", path, rr.Err())
+	}
+	return events, nil
+}
+
+func cmdDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Duration("tol", 0, "virtual-time tolerance per aligned event (0 = exact)")
+	max := fs.Int("max", 10, "max divergences to print (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	a, err := load(pathA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftmr-trace:", err)
+		return 2
+	}
+	b, err := load(pathB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftmr-trace:", err)
+		return 2
+	}
+
+	rep := trace.Diff(a, b, trace.DiffOptions{VTTol: *tol})
+	fmt.Printf("A: %s (%d events)\nB: %s (%d events)\n", pathA, rep.EventsA, pathB, rep.EventsB)
+	fmt.Printf("aligned %d event pairs across %d (rank, kind) streams\n", rep.Aligned, rep.Streams)
+
+	if !rep.Diverged() {
+		fmt.Println("identical: zero divergence")
+		return 0
+	}
+
+	first := rep.First()
+	fmt.Printf("\nFIRST DIVERGENCE (by virtual time):\n  %s\n", first)
+	counts := rep.CountByReason()
+	reasons := make([]string, 0, len(counts))
+	for r := range counts {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	fmt.Printf("\n%d divergences total:", len(rep.Divergences))
+	for _, r := range reasons {
+		fmt.Printf(" %s=%d", r, counts[r])
+	}
+	fmt.Println()
+	if rep.ExtraA > 0 || rep.ExtraB > 0 {
+		fmt.Printf("tail events past the shorter stream: A+%d B+%d\n", rep.ExtraA, rep.ExtraB)
+	}
+
+	n := len(rep.Divergences)
+	if *max > 0 && n > *max {
+		n = *max
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("  %s\n", &rep.Divergences[i])
+	}
+	if n < len(rep.Divergences) {
+		fmt.Printf("  ... %d more (raise -max to see them)\n", len(rep.Divergences)-n)
+	}
+
+	fmt.Println("\nper-phase virtual-time deltas (B - A):")
+	fmt.Printf("  %4s  %-8s  %14s  %14s  %14s\n", "rank", "phase", "A", "B", "delta")
+	for _, pd := range rep.PhaseDeltas {
+		marker := ""
+		if pd.Delta() != 0 {
+			marker = "  <--"
+		}
+		fmt.Printf("  %4d  %-8s  %14v  %14v  %+14v%s\n", pd.Rank, pd.Phase, pd.A, pd.B, pd.Delta(), marker)
+	}
+	return 1
+}
+
+func cmdSummarize(args []string) int {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	showSkew := fs.Bool("skew", false, "also print the cross-rank skew/imbalance view")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftmr-trace:", err)
+		return 2
+	}
+
+	s := trace.Summarize(events)
+	ranks := make([]int, 0, len(s.Ranks))
+	for r := range s.Ranks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	fmt.Printf("%s: %d events, %d ranks (virtual time)\n", fs.Arg(0), len(events), len(ranks))
+	for _, r := range ranks {
+		rs := s.Ranks[r]
+		label := fmt.Sprintf("rank %d", r)
+		if r == trace.GlobalRank {
+			label = "world"
+		}
+		fmt.Printf("\n%s:\n", label)
+		phases := make([]string, 0, len(rs.Phase))
+		for ph := range rs.Phase {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		for _, ph := range phases {
+			fmt.Printf("  phase %-8s %v\n", ph, rs.Phase[ph])
+		}
+		if rs.Sends+rs.Recvs > 0 {
+			fmt.Printf("  p2p: %d sends / %d B out, %d recvs / %d B in\n",
+				rs.Sends, rs.SendBytes, rs.Recvs, rs.RecvBytes)
+		}
+		if rs.CollTime > 0 {
+			fmt.Printf("  collectives: %v\n", rs.CollTime)
+		}
+		if rs.CkptBytes+rs.CkptFrames > 0 {
+			fmt.Printf("  checkpoint: %d B in %d frames (copier %d B, %v)\n",
+				rs.CkptBytes, rs.CkptFrames, rs.CopierBytes, rs.CopierTime)
+		}
+		if rs.RecoveredBytes+rs.RecoveredFrames > 0 {
+			fmt.Printf("  recovered: %d B in %d frames\n", rs.RecoveredBytes, rs.RecoveredFrames)
+		}
+		if rs.Recoveries > 0 {
+			fmt.Printf("  recoveries: %d taking %v\n", rs.Recoveries, rs.RecoveryTime)
+		}
+		if rs.TaskCommits > 0 {
+			fmt.Printf("  task commits: %d\n", rs.TaskCommits)
+		}
+		if rs.LBFits > 0 {
+			fmt.Printf("  lb model fits: %d\n", rs.LBFits)
+		}
+	}
+
+	if *showSkew {
+		sk := s.Skew()
+		fmt.Printf("\nskew: mean busy %v, max busy %v (rank %d), imbalance %.3f\n",
+			sk.MeanBusy, sk.MaxBusy, sk.SlowestRank, sk.Imbalance)
+		fmt.Printf("  %4s  %12s  %12s  %12s  %12s\n", "rank", "busy", "coll", "copier", "recovery")
+		for _, r := range sk.Ranks {
+			fmt.Printf("  %4d  %12v  %12v  %12v  %12v\n", r.Rank, r.Busy, r.Coll, r.Copier, r.Recovery)
+		}
+	}
+	return 0
+}
+
+func cmdFlows(args []string) int {
+	fs := flag.NewFlagSet("flows", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftmr-trace:", err)
+		return 2
+	}
+
+	fr := trace.CheckFlows(events)
+	fmt.Printf("%s: %d sends, %d recvs, %d matched flows\n", fs.Arg(0), fr.Sends, fr.Recvs, fr.Matched)
+	if fr.UnmatchedSends > 0 {
+		fmt.Printf("  %d unmatched sends (eager sends to dead ranks are legal under failure injection)\n",
+			fr.UnmatchedSends)
+	}
+	if fr.ZeroRecvs > 0 {
+		fmt.Printf("  %d recvs without a flow id (aborted/failed receives)\n", fr.ZeroRecvs)
+	}
+	if fr.OK() {
+		fmt.Println("flow invariants hold")
+		return 0
+	}
+	fmt.Printf("%d violations:\n", len(fr.Violations))
+	for _, v := range fr.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	return 1
+}

@@ -65,10 +65,14 @@ func tagMatch(want, got int) bool {
 }
 
 // Message is a received point-to-point message. Src is a communicator rank.
+// id is the world-unique message id stamped at the send site; it travels
+// with the message so the receiver's recv.end trace event carries the same
+// flow id as the sender's send.end (the tracer's send→recv flow arrows).
 type Message struct {
 	Src  int
 	Tag  int
 	Data []byte
+	id   uint64
 }
 
 // World owns the ranks of one MPI job and their shared failure state.
@@ -83,6 +87,10 @@ type World struct {
 	splits  map[splitKey]*commState
 	// done counts rank main functions that returned normally.
 	done int
+	// msgID hands out world-unique message ids (flow ids). Deterministic:
+	// the simulator runs one process at a time, so same-seed runs allocate
+	// identical ids.
+	msgID uint64
 }
 
 // Rank is one MPI process.
@@ -416,9 +424,11 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 	if !st.w.ranks[dworld].alive {
 		return &ProcFailedError{Ranks: []int{dworld}}
 	}
+	st.w.msgID++
+	id := st.w.msgID
 	if rec := c.r.rec; rec != nil {
 		rec.SendBegin(dworld, tag, len(data))
-		defer rec.SendEnd(dworld, tag, len(data))
+		defer rec.SendEnd(dworld, tag, len(data), id)
 	}
 	c.r.proc.Sleep(c.transferCost(len(data)))
 	if st.w.aborted {
@@ -430,7 +440,7 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 	// Deliver (drop silently if the receiver died during the transfer —
 	// eager sends complete locally).
 	if st.w.ranks[dworld].alive {
-		st.deliver(dest, &Message{Src: c.rank, Tag: tag, Data: data})
+		st.deliver(dest, &Message{Src: c.rank, Tag: tag, Data: data, id: id})
 	}
 	return nil
 }
@@ -489,7 +499,7 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 	if m := box.matchBuffered(src, tag); m != nil {
 		if rec != nil {
 			rec.RecvBegin(srcWorld, tag)
-			rec.RecvEnd(srcWorld, tag, len(m.Data))
+			rec.RecvEnd(srcWorld, tag, len(m.Data), m.id)
 		}
 		return m, nil
 	}
@@ -506,19 +516,19 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 		if st.w.aborted && !rw.done {
 			box.unwait(rw)
 			if rec != nil {
-				rec.RecvEnd(srcWorld, tag, 0)
+				rec.RecvEnd(srcWorld, tag, 0, 0)
 			}
 			return nil, ErrAborted
 		}
 	}
 	if rw.err != nil {
 		if rec != nil {
-			rec.RecvEnd(srcWorld, tag, 0)
+			rec.RecvEnd(srcWorld, tag, 0, 0)
 		}
 		return nil, rw.err
 	}
 	if rec != nil {
-		rec.RecvEnd(srcWorld, tag, len(rw.msg.Data))
+		rec.RecvEnd(srcWorld, tag, len(rw.msg.Data), rw.msg.id)
 	}
 	return rw.msg, nil
 }
@@ -537,7 +547,7 @@ func (c *Comm) TryRecv(src, tag int) (*Message, bool, error) {
 				srcWorld = st.group[src]
 			}
 			rec.RecvBegin(srcWorld, tag)
-			rec.RecvEnd(srcWorld, tag, len(m.Data))
+			rec.RecvEnd(srcWorld, tag, len(m.Data), m.id)
 		}
 		return m, true, nil
 	}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Trace alignment and divergence detection — the engine behind
+// `ftmr-trace diff`. Two runs of the same workload (same seed and config)
+// are byte-identical in this simulator, so the first virtual-time split
+// between a "good" and a "bad" trace localizes a regression: a balancer
+// change, a cost-model edit, or a nondeterminism bug. All times compared
+// here are virtual simulation time.
+//
+// Alignment is per (rank, kind) stream: the i-th phase.end of rank 3 in run
+// A is compared against the i-th phase.end of rank 3 in run B. That keying
+// deliberately ignores the global Seq interleaving across ranks — two runs
+// whose ranks make identical local progress in a different global order
+// (benign reordering, e.g. equal-vt events scheduled differently) produce
+// zero divergences — while any change in one rank's own event sequence,
+// payload, or timing is flagged.
+
+// Divergence reasons, in decreasing severity: a structural mismatch means
+// the runs did different *work*; a vt mismatch means the same work at a
+// different virtual time; missing events mean one run's stream is a strict
+// prefix of the other's.
+const (
+	DivergeAttrs    = "attrs"        // same position, different name/payload/flow
+	DivergeVT       = "vt"           // same event beyond the vt tolerance
+	DivergeMissingA = "missing-in-a" // B has events A lacks at this position
+	DivergeMissingB = "missing-in-b" // A has events B lacks at this position
+)
+
+// DiffOptions tunes the comparison.
+type DiffOptions struct {
+	// VTTol is the absolute virtual-time tolerance per aligned pair; 0
+	// demands exact equality (the right setting for same-seed runs).
+	VTTol time.Duration
+}
+
+// Divergence is one aligned position where the two traces disagree.
+type Divergence struct {
+	Rank  int    // world rank of the diverging stream
+	Kind  Kind   // event kind of the diverging stream
+	Index int    // occurrence index within the (rank, kind) stream
+	A, B  *Event // nil on the side whose stream ended early
+
+	// VTDelta is B.VT - A.VT when both sides are present (how much later
+	// run B reached this event, in virtual time).
+	VTDelta time.Duration
+	Reason  string // one of the Diverge* constants
+}
+
+// String renders the divergence the way the CLI reports it.
+func (d *Divergence) String() string {
+	at := func(ev *Event) string {
+		if ev == nil {
+			return "-"
+		}
+		if ev.Name != "" {
+			return fmt.Sprintf("%v %q", ev.VT, ev.Name)
+		}
+		return fmt.Sprint(ev.VT)
+	}
+	switch d.Reason {
+	case DivergeVT:
+		return fmt.Sprintf("rank %d %v[%d]: vt A=%s B=%s (Δ %+v)",
+			d.Rank, d.Kind, d.Index, at(d.A), at(d.B), d.VTDelta)
+	case DivergeAttrs:
+		return fmt.Sprintf("rank %d %v[%d]: payload A={%s %v %d %d %d} B={%s %v %d %d %d}",
+			d.Rank, d.Kind, d.Index,
+			d.A.Name, d.A.VT, d.A.A, d.A.B, d.A.C,
+			d.B.Name, d.B.VT, d.B.A, d.B.B, d.B.C)
+	case DivergeMissingA:
+		return fmt.Sprintf("rank %d %v[%d]: only in B (%s)", d.Rank, d.Kind, d.Index, at(d.B))
+	default:
+		return fmt.Sprintf("rank %d %v[%d]: only in A (%s)", d.Rank, d.Kind, d.Index, at(d.A))
+	}
+}
+
+// vt returns the earliest virtual time attached to the divergence (for
+// ordering: "first divergence" means first in virtual time).
+func (d *Divergence) vt() time.Duration {
+	switch {
+	case d.A != nil && d.B != nil:
+		if d.A.VT < d.B.VT {
+			return d.A.VT
+		}
+		return d.B.VT
+	case d.A != nil:
+		return d.A.VT
+	default:
+		return d.B.VT
+	}
+}
+
+// PhaseDelta is one row of the per-phase virtual-time delta table: how long
+// one rank spent in one phase in each run (matched begin/end pairs, as
+// Summarize counts them).
+type PhaseDelta struct {
+	Rank  int           // world rank
+	Phase string        // phase name as the runner emits it ("map", ...)
+	A, B  time.Duration // virtual time spent in the phase, per run
+}
+
+// Delta returns B - A (positive = run B spent longer in the phase).
+func (pd PhaseDelta) Delta() time.Duration { return pd.B - pd.A }
+
+// DiffReport is the full comparison of two traces.
+type DiffReport struct {
+	EventsA, EventsB int // events compared on each side
+	Streams          int // distinct (rank, kind) streams across both runs
+	Aligned          int // event pairs compared position-by-position
+	ExtraA, ExtraB   int // events past the end of the other side's stream
+
+	// Divergences is ordered by virtual time (earliest first); per stream,
+	// only the first missing position is reported (the tail counts are in
+	// ExtraA/ExtraB), so the list stays readable on badly diverged runs.
+	Divergences []Divergence
+
+	// PhaseDeltas covers every (rank, phase) either run recorded, ordered
+	// by rank then phase name.
+	PhaseDeltas []PhaseDelta
+}
+
+// Diverged reports whether the traces disagree anywhere.
+func (r *DiffReport) Diverged() bool { return len(r.Divergences) > 0 }
+
+// First returns the earliest divergence in virtual time, or nil.
+func (r *DiffReport) First() *Divergence {
+	if len(r.Divergences) == 0 {
+		return nil
+	}
+	return &r.Divergences[0]
+}
+
+// CountByReason tallies the divergences per reason string.
+func (r *DiffReport) CountByReason() map[string]int {
+	m := make(map[string]int)
+	for i := range r.Divergences {
+		m[r.Divergences[i].Reason]++
+	}
+	return m
+}
+
+// Diff aligns two event streams of the same workload and reports where they
+// diverge. Events must be in recording order per rank (any order produced
+// by Tracer.Events, EventsFor, or ReadJSONL qualifies: per-rank order is
+// Seq order in all of them).
+func Diff(a, b []Event, opt DiffOptions) *DiffReport {
+	rep := &DiffReport{EventsA: len(a), EventsB: len(b)}
+
+	type key struct {
+		rank int
+		kind Kind
+	}
+	bucket := func(evs []Event) map[key][]*Event {
+		m := make(map[key][]*Event)
+		for i := range evs {
+			k := key{evs[i].Rank, evs[i].Kind}
+			m[k] = append(m[k], &evs[i])
+		}
+		return m
+	}
+	sa, sb := bucket(a), bucket(b)
+
+	keys := make([]key, 0, len(sa))
+	for k := range sa {
+		keys = append(keys, k)
+	}
+	for k := range sb {
+		if _, ok := sa[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	rep.Streams = len(keys)
+
+	for _, k := range keys {
+		ea, eb := sa[k], sb[k]
+		n := len(ea)
+		if len(eb) < n {
+			n = len(eb)
+		}
+		for i := 0; i < n; i++ {
+			va, vb := ea[i], eb[i]
+			rep.Aligned++
+			if va.Name != vb.Name || va.A != vb.A || va.B != vb.B || va.C != vb.C || va.Flow != vb.Flow {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					Rank: k.rank, Kind: k.kind, Index: i, A: va, B: vb,
+					VTDelta: vb.VT - va.VT, Reason: DivergeAttrs,
+				})
+				continue
+			}
+			if d := vb.VT - va.VT; d > opt.VTTol || -d > opt.VTTol {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					Rank: k.rank, Kind: k.kind, Index: i, A: va, B: vb,
+					VTDelta: d, Reason: DivergeVT,
+				})
+			}
+		}
+		switch {
+		case len(ea) > n:
+			rep.ExtraA += len(ea) - n
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Rank: k.rank, Kind: k.kind, Index: n, A: ea[n], Reason: DivergeMissingB,
+			})
+		case len(eb) > n:
+			rep.ExtraB += len(eb) - n
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Rank: k.rank, Kind: k.kind, Index: n, B: eb[n], Reason: DivergeMissingA,
+			})
+		}
+	}
+
+	sort.SliceStable(rep.Divergences, func(i, j int) bool {
+		di, dj := &rep.Divergences[i], &rep.Divergences[j]
+		if vi, vj := di.vt(), dj.vt(); vi != vj {
+			return vi < vj
+		}
+		if di.Rank != dj.Rank {
+			return di.Rank < dj.Rank
+		}
+		if di.Kind != dj.Kind {
+			return di.Kind < dj.Kind
+		}
+		return di.Index < dj.Index
+	})
+
+	rep.PhaseDeltas = phaseDeltas(a, b)
+	return rep
+}
+
+// phaseDeltas builds the per-(rank, phase) duration table from both runs'
+// summaries.
+func phaseDeltas(a, b []Event) []PhaseDelta {
+	pa, pb := Summarize(a), Summarize(b)
+	type key struct {
+		rank  int
+		phase string
+	}
+	seen := make(map[key]bool)
+	var keys []key
+	collect := func(s *Summary) {
+		for r, rs := range s.Ranks {
+			for ph := range rs.Phase {
+				k := key{r, ph}
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	collect(pa)
+	collect(pb)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].phase < keys[j].phase
+	})
+	out := make([]PhaseDelta, 0, len(keys))
+	dur := func(s *Summary, k key) time.Duration {
+		rs, ok := s.Ranks[k.rank]
+		if !ok {
+			return 0
+		}
+		return rs.Phase[k.phase]
+	}
+	for _, k := range keys {
+		out = append(out, PhaseDelta{Rank: k.rank, Phase: k.phase, A: dur(pa, k), B: dur(pb, k)})
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// End-to-end tests for message flow events and trace diffing: a traced
+// failover run must export matched "s"/"f" Chrome flow arrows, satisfy the
+// flow invariants, and two identical-seed runs must diff to zero divergence
+// while runs with different kill schedules must not.
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/trace"
+)
+
+// TestChromeFlowArrowsWordcountFailover checks the flow-event view: every
+// send.end with a flow id exports an "s" event, every matching recv.end an
+// "f" event with the same id and bp="e", starts precede finishes in trace
+// time, and at least one arrow crosses rank tracks (a real p2p message, not
+// a self-send).
+func TestChromeFlowArrowsWordcountFailover(t *testing.T) {
+	_, tr := tracedFailover(t, 3, core.PhaseReduce)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			ID  int     `json:"id"`
+			TS  float64 `json:"ts"`
+			PID int     `json:"pid"`
+			Cat string  `json:"cat"`
+			BP  string  `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+
+	type end struct {
+		ts  float64
+		pid int
+	}
+	starts := map[int]end{}
+	finishes := map[int]end{}
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			if ev.Cat != "p2p" {
+				t.Fatalf("flow start with cat %q, want p2p", ev.Cat)
+			}
+			if _, dup := starts[ev.ID]; dup {
+				t.Fatalf("duplicate flow start id %d", ev.ID)
+			}
+			starts[ev.ID] = end{ev.TS, ev.PID}
+		case "f":
+			if ev.BP != "e" {
+				t.Fatalf("flow finish id %d without bp=e binding", ev.ID)
+			}
+			if _, dup := finishes[ev.ID]; dup {
+				t.Fatalf("duplicate flow finish id %d", ev.ID)
+			}
+			finishes[ev.ID] = end{ev.TS, ev.PID}
+		}
+	}
+	if len(starts) == 0 || len(finishes) == 0 {
+		t.Fatalf("no flow arrows exported: %d starts, %d finishes", len(starts), len(finishes))
+	}
+
+	crossTrack := 0
+	for id, f := range finishes {
+		s, ok := starts[id]
+		if !ok {
+			t.Fatalf("flow finish %d has no start", id)
+		}
+		if f.ts < s.ts {
+			t.Errorf("flow %d finishes at ts %v before its start at %v", id, f.ts, s.ts)
+		}
+		if f.pid != s.pid {
+			crossTrack++
+		}
+	}
+	if crossTrack == 0 {
+		t.Fatal("no flow arrow crosses rank tracks; send->recv linking is broken")
+	}
+	// Unmatched starts are legal (eager sends to the killed rank), but the
+	// overwhelming majority must pair up on a run this small.
+	if len(finishes)*2 < len(starts) {
+		t.Errorf("only %d of %d flow starts finished", len(finishes), len(starts))
+	}
+}
+
+// TestFlowInvariantsWordcountFailover runs the `ftmr-trace flows` engine
+// over a real failover trace: no dangling recvs, no duplicate ids, no byte
+// mismatches, no virtual-time inversions — even with a rank killed mid-run.
+func TestFlowInvariantsWordcountFailover(t *testing.T) {
+	_, tr := tracedFailover(t, 2, core.PhaseMap)
+	fr := trace.CheckFlows(tr.Events())
+	if !fr.OK() {
+		t.Fatalf("flow invariants violated on a failover run: %v", fr.Violations)
+	}
+	if fr.Matched == 0 {
+		t.Fatal("no matched flows on a run with shuffle traffic")
+	}
+	t.Logf("flows: %d sends, %d recvs, %d matched, %d unmatched (eager), %d zero-id recvs",
+		fr.Sends, fr.Recvs, fr.Matched, fr.UnmatchedSends, fr.ZeroRecvs)
+}
+
+// TestDiffIdenticalRunsZeroDivergence is the determinism cross-check behind
+// `ftmr-trace diff` on two same-seed runs: the whole simulation is
+// deterministic, so two identical configurations must produce traces that
+// align with zero divergence at zero tolerance.
+func TestDiffIdenticalRunsZeroDivergence(t *testing.T) {
+	_, trA := tracedFailover(t, 3, core.PhaseReduce)
+	_, trB := tracedFailover(t, 3, core.PhaseReduce)
+	rep := trace.Diff(trA.Events(), trB.Events(), trace.DiffOptions{})
+	if rep.Diverged() {
+		t.Fatalf("identical-seed runs diverged: first = %s (%d total)",
+			rep.First(), len(rep.Divergences))
+	}
+	if rep.Aligned == 0 {
+		t.Fatal("nothing aligned; traces are empty")
+	}
+}
+
+// TestDiffDifferentKillSchedulesDiverge diffs a map-phase kill against a
+// reduce-phase kill of a different rank: the report must flag divergence
+// and name a first event with populated fields.
+func TestDiffDifferentKillSchedulesDiverge(t *testing.T) {
+	_, trA := tracedFailover(t, 2, core.PhaseMap)
+	_, trB := tracedFailover(t, 3, core.PhaseReduce)
+	rep := trace.Diff(trA.Events(), trB.Events(), trace.DiffOptions{})
+	if !rep.Diverged() {
+		t.Fatal("different kill schedules reported identical traces")
+	}
+	first := rep.First()
+	if first == nil || first.Kind == 0 {
+		t.Fatalf("First() = %+v, want a populated divergence", first)
+	}
+	if first.A == nil && first.B == nil {
+		t.Fatal("first divergence carries no event on either side")
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func flowEvent(seq uint64, vt time.Duration, rank int, kind Kind, bytes int64, flow uint64) Event {
+	return Event{Seq: seq, VT: vt, Rank: rank, Kind: kind, C: bytes, Flow: flow}
+}
+
+func TestCheckFlowsMatchedAndUnmatched(t *testing.T) {
+	evs := []Event{
+		flowEvent(1, 0, 0, KindSendEnd, 256, 1),
+		flowEvent(2, time.Millisecond, 1, KindRecvEnd, 256, 1),
+		// Eager send to a rank that died before receiving: a warning, not
+		// a violation.
+		flowEvent(3, 2*time.Millisecond, 0, KindSendEnd, 64, 2),
+		// Aborted receive with no flow id: informational.
+		flowEvent(4, 3*time.Millisecond, 1, KindRecvEnd, 0, 0),
+	}
+	fr := CheckFlows(evs)
+	if !fr.OK() {
+		t.Fatalf("violations on a legal trace: %v", fr.Violations)
+	}
+	if fr.Sends != 2 || fr.Recvs != 1 || fr.Matched != 1 || fr.UnmatchedSends != 1 || fr.ZeroRecvs != 1 {
+		t.Fatalf("report = %+v, want 2 sends / 1 recv / 1 matched / 1 unmatched / 1 zero-recv", fr)
+	}
+}
+
+func TestCheckFlowsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"dangling recv", []Event{
+			flowEvent(1, 0, 1, KindRecvEnd, 10, 5),
+		}, "never sent"},
+		{"duplicate send id", []Event{
+			flowEvent(1, 0, 0, KindSendEnd, 10, 5),
+			flowEvent(2, 0, 0, KindSendEnd, 10, 5),
+		}, "sent 2 times"},
+		{"byte mismatch", []Event{
+			flowEvent(1, 0, 0, KindSendEnd, 10, 5),
+			flowEvent(2, time.Millisecond, 1, KindRecvEnd, 11, 5),
+		}, "byte count mismatch"},
+		{"vt inversion", []Event{
+			flowEvent(1, 2*time.Millisecond, 0, KindSendEnd, 10, 5),
+			flowEvent(2, time.Millisecond, 1, KindRecvEnd, 10, 5),
+		}, "before send"},
+		{"send without id", []Event{
+			flowEvent(1, 0, 0, KindSendEnd, 10, 0),
+		}, "without flow id"},
+	}
+	for _, tc := range cases {
+		fr := CheckFlows(tc.evs)
+		if fr.OK() {
+			t.Errorf("%s: no violation reported", tc.name)
+			continue
+		}
+		found := false
+		for _, v := range fr.Violations {
+			if strings.Contains(v.String(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v lack %q", tc.name, fr.Violations, tc.want)
+		}
+	}
+}
+
+// The v2 golden fixture's flow ids pair up as documented in DESIGN.md
+// §"Trace wire format v2": flows 1 and 2 matched, flow 3 an eager send
+// with no receiver.
+func TestCheckFlowsGoldenV2(t *testing.T) {
+	evs, rr, err := ReadJSONLFile("testdata/golden_v2.jsonl")
+	if err != nil || !rr.Clean() {
+		t.Fatalf("golden_v2: %v / %+v", err, rr)
+	}
+	fr := CheckFlows(evs)
+	if !fr.OK() {
+		t.Fatalf("golden fixture violates flow invariants: %v", fr.Violations)
+	}
+	if fr.Sends != 3 || fr.Recvs != 2 || fr.Matched != 2 || fr.UnmatchedSends != 1 {
+		t.Fatalf("report = %+v, want 3 sends / 2 recvs / 2 matched / 1 unmatched", fr)
+	}
+}

@@ -17,9 +17,14 @@ func TestGoldenTraceSummarizeAndSkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	events, err := ReadJSONL(f)
+	events, rr, err := ReadJSONL(f)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// A headerless file is schema 1 by definition (DESIGN.md §"Trace wire
+	// format v2", compatibility rules) and must read back clean.
+	if rr.Schema != 1 || rr.Header || !rr.Clean() {
+		t.Fatalf("v1 fixture read report = %+v, want schema 1, no header, clean", rr)
 	}
 	if len(events) != 20 {
 		t.Fatalf("decoded %d events, want 20", len(events))
@@ -75,14 +80,97 @@ func TestGoldenTraceSummarizeAndSkew(t *testing.T) {
 	check("imbalance", skew.Imbalance, wantImb)
 }
 
-// An unknown kind or torn line must error, not silently drop.
-func TestReadJSONLRejectsDamage(t *testing.T) {
+// An unknown kind or torn line must be counted in the ReadReport — not a
+// hard failure (the good lines still decode), and not a silent drop (the
+// report says exactly how many lines were bad and where the damage starts).
+func TestReadJSONLCountsDamage(t *testing.T) {
 	for _, bad := range []string{
 		`{"seq":1,"vt_us":0,"rank":0,"kind":"no.such.kind"}`,
 		`{"seq":1,"vt_us":0,"rank":0,`,
 	} {
-		if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
-			t.Fatalf("ReadJSONL(%q) succeeded, want error", bad)
+		good := `{"seq":2,"vt_us":5,"rank":0,"kind":"phase.begin","name":"map"}`
+		events, rr, err := ReadJSONL(strings.NewReader(bad + "\n" + good + "\n"))
+		if err != nil {
+			t.Fatalf("ReadJSONL with damaged line %q hard-failed: %v", bad, err)
 		}
+		if len(events) != 1 || events[0].Kind != KindPhaseBegin {
+			t.Fatalf("good line not decoded past damage %q: %+v", bad, events)
+		}
+		if rr.Clean() || rr.BadLines != 1 || rr.FirstBadLine != 1 || rr.FirstBadErr == nil {
+			t.Fatalf("read report = %+v, want 1 bad line at line 1", rr)
+		}
+		if rr.Err() == nil || !strings.Contains(rr.Err().Error(), "1 of 2") {
+			t.Fatalf("summary error = %v, want counted summary", rr.Err())
+		}
+	}
+}
+
+// Golden v2 fixture: header line plus flow-stamped send/recv events, pinned
+// to the spec in DESIGN.md §"Trace wire format v2". If an encoder field
+// name, the header shape, or flow-id semantics drift, this fails first.
+func TestGoldenV2FlowFixture(t *testing.T) {
+	events, rr, err := ReadJSONLFile("testdata/golden_v2.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Schema != 2 || !rr.Header || !rr.Clean() {
+		t.Fatalf("v2 fixture read report = %+v, want schema 2 with header, clean", rr)
+	}
+	if len(events) != 16 {
+		t.Fatalf("decoded %d events, want 16", len(events))
+	}
+
+	// The three flow-stamped sends and their receivers, as the spec's
+	// example run lays them out.
+	type pair struct {
+		sendVT, recvVT time.Duration
+		bytes          int64
+	}
+	sends := map[uint64]*Event{}
+	recvs := map[uint64]*Event{}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindSendEnd:
+			sends[ev.Flow] = ev
+		case KindRecvEnd:
+			recvs[ev.Flow] = ev
+		}
+	}
+	want := map[uint64]pair{
+		1: {1200 * time.Microsecond, 1500 * time.Microsecond, 256},
+		2: {2000 * time.Microsecond, 2300 * time.Microsecond, 128},
+	}
+	for id, p := range want {
+		s, r := sends[id], recvs[id]
+		if s == nil || r == nil {
+			t.Fatalf("flow %d not present on both sides", id)
+		}
+		if s.VT != p.sendVT || r.VT != p.recvVT || s.C != p.bytes || r.C != p.bytes {
+			t.Errorf("flow %d = send %v/%dB recv %v/%dB, want %+v", id, s.VT, s.C, r.VT, r.C, p)
+		}
+	}
+	if s := sends[3]; s == nil || recvs[3] != nil {
+		t.Error("flow 3 must be an unmatched eager send")
+	}
+
+	s := Summarize(events)
+	if got := s.Rank(0).Phase[PhaseNameMap]; got != 10*time.Millisecond {
+		t.Errorf("rank0 map = %v, want 10ms", got)
+	}
+	if got := s.Rank(1).Phase[PhaseNameReduce]; got != 6*time.Millisecond {
+		t.Errorf("rank1 reduce = %v, want 6ms", got)
+	}
+	if rs := s.Rank(0); rs.CkptBytes != 4096 || rs.CkptFrames != 2 {
+		t.Errorf("rank0 ckpt = %d B / %d frames, want 4096/2", rs.CkptBytes, rs.CkptFrames)
+	}
+}
+
+// A trace from a newer schema than this build understands must hard-error
+// rather than be misread (DESIGN.md §"Trace wire format v2").
+func TestReadJSONLRejectsFutureSchema(t *testing.T) {
+	in := `{"format":"ftmr-trace","schema":99}` + "\n"
+	if _, _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("schema 99 accepted, want error")
 	}
 }

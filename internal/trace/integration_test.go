@@ -292,8 +292,8 @@ func TestChromeCopierThreadInterleavesWithMain(t *testing.T) {
 	}
 
 	type span struct{ begin, end float64 }
-	copier := map[int][]span{}  // pid -> matched copy:* spans on tid 2
-	phases := map[int][]span{}  // pid -> matched phase spans on tid 1
+	copier := map[int][]span{}     // pid -> matched copy:* spans on tid 2
+	phases := map[int][]span{}     // pid -> matched phase spans on tid 1
 	open := map[[2]int][]float64{} // (pid, tid) -> B stack (Chrome B/E pair per-thread, LIFO)
 	for _, ev := range out.TraceEvents {
 		if ev.Ph != "B" && ev.Ph != "E" {

@@ -17,7 +17,8 @@ import (
 // phases, collectives and point-to-point calls, instants for commits and
 // decisions, and async spans for recovery episodes.
 
-// jsonlEvent is the JSONL wire form of one Event.
+// jsonlEvent is the JSONL wire form of one Event (DESIGN.md §"Trace wire
+// format v2" is the field-by-field spec; vt_us is virtual microseconds).
 type jsonlEvent struct {
 	Seq  uint64  `json:"seq"`
 	VTus float64 `json:"vt_us"`
@@ -27,6 +28,14 @@ type jsonlEvent struct {
 	A    int64   `json:"a,omitempty"`
 	B    int64   `json:"b,omitempty"`
 	C    int64   `json:"c,omitempty"`
+	Flow uint64  `json:"flow,omitempty"`
+}
+
+// jsonlHeader is the first line of a v2+ JSONL trace. v1 files have no
+// header (their first line is an event), which ReadJSONL accepts.
+type jsonlHeader struct {
+	Format string `json:"format"` // always "ftmr-trace"
+	Schema int    `json:"schema"` // SchemaVersion at write time
 }
 
 // toJSONL converts an Event to its JSONL wire form.
@@ -40,14 +49,18 @@ func toJSONL(ev Event) jsonlEvent {
 		A:    ev.A,
 		B:    ev.B,
 		C:    ev.C,
+		Flow: ev.Flow,
 	}
 }
 
-// WriteJSONL writes every retained event as one JSON object per line, in
-// causal order.
+// WriteJSONL writes the schema header followed by every retained event as
+// one JSON object per line, in causal order.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Format: "ftmr-trace", Schema: SchemaVersion}); err != nil {
+		return err
+	}
 	for _, ev := range t.Events() {
 		if err := enc.Encode(toJSONL(ev)); err != nil {
 			return err
@@ -73,9 +86,10 @@ func (s *streamSink) write(ev Event) {
 	s.err = s.enc.Encode(toJSONL(ev))
 }
 
-// StreamJSONL attaches a write-through JSONL sink: from now on every emitted
-// event is also written to w immediately (buffered; call FlushStream at the
-// end). Pass nil to detach. No-op on a nil tracer.
+// StreamJSONL attaches a write-through JSONL sink: the schema header is
+// written immediately, then every emitted event is written to w as it
+// happens (buffered; call FlushStream at the end). Pass nil to detach.
+// No-op on a nil tracer.
 func (t *Tracer) StreamJSONL(w io.Writer) {
 	if t == nil {
 		return
@@ -85,7 +99,9 @@ func (t *Tracer) StreamJSONL(w io.Writer) {
 		return
 	}
 	bw := bufio.NewWriter(w)
-	t.stream = &streamSink{bw: bw, enc: json.NewEncoder(bw)}
+	s := &streamSink{bw: bw, enc: json.NewEncoder(bw)}
+	s.err = s.enc.Encode(jsonlHeader{Format: "ftmr-trace", Schema: SchemaVersion})
+	t.stream = s
 }
 
 // FlushStream flushes the streaming sink's buffer and returns the first
@@ -113,11 +129,12 @@ type chromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat,omitempty"`
 	Ph    string         `json:"ph"`
-	TS    float64        `json:"ts"` // microseconds
+	TS    float64        `json:"ts"` // virtual microseconds
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	ID    int            `json:"id,omitempty"`
 	Scope string         `json:"s,omitempty"`
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e")
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -198,6 +215,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			}
 			out = append(out, span(ev, ph, "p2p", fmt.Sprintf("send->w%d", ev.A),
 				map[string]any{"peer": ev.A, "tag": ev.B, "bytes": ev.C}))
+			if ev.Kind == KindSendEnd && ev.Flow != 0 {
+				// Flow start: the arrow tail, bound to the send span's end.
+				fe := span(ev, "s", "p2p", "msg", nil)
+				fe.ID = int(ev.Flow)
+				out = append(out, fe)
+			}
 		case KindRecvBegin, KindRecvEnd:
 			ph := "B"
 			if ev.Kind == KindRecvEnd {
@@ -209,6 +232,14 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			}
 			out = append(out, span(ev, ph, "p2p", "recv<-"+peer,
 				map[string]any{"peer": ev.A, "tag": ev.B, "bytes": ev.C}))
+			if ev.Kind == KindRecvEnd && ev.Flow != 0 {
+				// Flow finish: the arrow head on the receiving rank's track,
+				// bound to the enclosing (recv) slice end.
+				fe := span(ev, "f", "p2p", "msg", nil)
+				fe.ID = int(ev.Flow)
+				fe.BP = "e"
+				out = append(out, fe)
+			}
 		case KindCollBegin:
 			out = append(out, span(ev, "B", "coll", "coll:"+ev.Name, nil))
 		case KindCollEnd:
@@ -297,28 +328,80 @@ var kindByName = func() map[string]Kind {
 	return m
 }()
 
+// ReadReport is the parse accounting of one ReadJSONL call. A truncated or
+// corrupted trace file no longer aborts the read: damaged lines are counted
+// here so tooling (ftmr-trace) can warn instead of silently diffing garbage.
+type ReadReport struct {
+	Schema   int  // declared wire-format version (1 when no header line)
+	Header   bool // whether a header line was present
+	Lines    int  // non-blank lines scanned, including the header
+	Events   int  // events decoded successfully
+	BadLines int  // malformed or unknown-kind lines skipped
+
+	FirstBadLine int   // 1-based line number of the first bad line (0 = none)
+	FirstBadErr  error // what was wrong with it
+}
+
+// Clean reports whether every scanned line decoded.
+func (rr *ReadReport) Clean() bool { return rr.BadLines == 0 }
+
+// Err summarizes the damage as one error, or nil when the read was clean.
+func (rr *ReadReport) Err() error {
+	if rr.Clean() {
+		return nil
+	}
+	return fmt.Errorf("trace: %d of %d lines malformed (first at line %d: %v)",
+		rr.BadLines, rr.Lines, rr.FirstBadLine, rr.FirstBadErr)
+}
+
 // ReadJSONL decodes a JSONL stream (as written by WriteJSONL or StreamJSONL)
-// back into events, in stored order. Blank lines are skipped; an unknown
-// kind string or malformed line is an error — trace files are produced by
-// this package, so damage should surface, not be silently dropped.
-func ReadJSONL(r io.Reader) ([]Event, error) {
+// back into events, in stored order. Blank lines are skipped. Malformed
+// lines and unknown kind strings are skipped but *counted* in the returned
+// ReadReport — a trace cut short by a crash stays loadable, and the caller
+// decides whether damage is fatal (rr.Err). The error return is reserved
+// for unreadable input: I/O failure, an oversized line, or a header
+// declaring a schema version newer than this package understands.
+func ReadJSONL(r io.Reader) ([]Event, *ReadReport, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	rr := &ReadReport{Schema: 1}
 	var out []Event
 	line := 0
+	bad := func(err error) {
+		rr.BadLines++
+		if rr.FirstBadLine == 0 {
+			rr.FirstBadLine = line
+			rr.FirstBadErr = err
+		}
+	}
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		rr.Lines++
+		if rr.Lines == 1 {
+			var hdr jsonlHeader
+			if err := json.Unmarshal(raw, &hdr); err == nil && hdr.Format == "ftmr-trace" {
+				if hdr.Schema > SchemaVersion {
+					return nil, rr, fmt.Errorf("trace: file declares schema v%d, this reader understands <= v%d", hdr.Schema, SchemaVersion)
+				}
+				rr.Header = true
+				rr.Schema = hdr.Schema
+				continue
+			}
+			// No header: a v1 file whose first line is an event.
+		}
 		var je jsonlEvent
 		if err := json.Unmarshal(raw, &je); err != nil {
-			return out, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+			bad(fmt.Errorf("jsonl line %d: %w", line, err))
+			continue
 		}
 		kind, ok := kindByName[je.Kind]
 		if !ok {
-			return out, fmt.Errorf("trace: jsonl line %d: unknown kind %q", line, je.Kind)
+			bad(fmt.Errorf("jsonl line %d: unknown kind %q", line, je.Kind))
+			continue
 		}
 		out = append(out, Event{
 			Seq:  je.Seq,
@@ -329,12 +412,24 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			A:    je.A,
 			B:    je.B,
 			C:    je.C,
+			Flow: je.Flow,
 		})
 	}
+	rr.Events = len(out)
 	if err := sc.Err(); err != nil {
-		return out, err
+		return out, rr, err
 	}
-	return out, nil
+	return out, rr, nil
+}
+
+// ReadJSONLFile is ReadJSONL over the named file.
+func ReadJSONLFile(path string) ([]Event, *ReadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
 }
 
 // WriteFile writes the trace to path in the given format ("jsonl" or

@@ -19,9 +19,10 @@ const (
 	PhaseNameReduce  = "reduce"
 )
 
-// RankSkew is one rank's phase-cost decomposition.
+// RankSkew is one rank's phase-cost decomposition. All durations are
+// virtual simulation time.
 type RankSkew struct {
-	Rank int
+	Rank int // world rank
 
 	// Phase durations (matched begin/end pairs, as in RankSummary.Phase).
 	Map, Shuffle, Convert, Reduce time.Duration
@@ -41,8 +42,8 @@ type RankSkew struct {
 type SkewReport struct {
 	Ranks []RankSkew // ascending by rank; the world track is excluded
 
-	MeanBusy, MaxBusy time.Duration
-	SlowestRank       int // rank with MaxBusy (-1 when empty)
+	MeanBusy, MaxBusy time.Duration // mean / max Busy across ranks (virtual)
+	SlowestRank       int           // rank with MaxBusy (-1 when empty)
 
 	// Imbalance is MaxBusy/MeanBusy: 1.0 is perfectly balanced, 2.0 means
 	// the slowest rank carried twice the mean compute time. Zero when no

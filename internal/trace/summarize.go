@@ -8,9 +8,10 @@ import "time"
 // other: the hand-maintained counters say *how much*, the events say *when*,
 // and they must agree.
 
-// RankSummary is the per-rank aggregate derived from events.
+// RankSummary is the per-rank aggregate derived from events. All durations
+// are virtual simulation time.
 type RankSummary struct {
-	Rank int
+	Rank int // world rank (GlobalRank for the world track)
 
 	// Phase sums matched phase.begin/phase.end pairs per phase name. A
 	// begin with no end (the rank died mid-phase) contributes nothing —
@@ -19,26 +20,26 @@ type RankSummary struct {
 
 	// Recoveries counts recovery episodes; RecoveryTime sums their spans.
 	Recoveries   int
-	RecoveryTime time.Duration
+	RecoveryTime time.Duration // summed recovery span time (virtual)
 
 	// Point-to-point and collective activity.
-	Sends, Recvs         int64
-	SendBytes, RecvBytes int64
+	Sends, Recvs         int64         // completed send.end / recv.end events
+	SendBytes, RecvBytes int64         // payload bytes over those events
 	CollTime             time.Duration // top-level collective spans only
 
 	// Checkpoint activity.
-	CkptBytes, CkptFrames           int64
-	CopierBytes                     int64
+	CkptBytes, CkptFrames           int64         // committed by the writer
+	CopierBytes                     int64         // drained to the PFS by the copier
 	CopierTime                      time.Duration // matched copier.begin/end spans
-	RecoveredBytes, RecoveredFrames int64
+	RecoveredBytes, RecoveredFrames int64         // replayed during recovery
 
-	TaskCommits int64
+	TaskCommits int64 // task.commit events (map tasks + reduce partitions)
 	LBFits      int64 // load-balancer model publications (lb.fit events)
 }
 
 // Summary is the full derivation over an event stream.
 type Summary struct {
-	Ranks map[int]*RankSummary
+	Ranks map[int]*RankSummary // keyed by world rank, GlobalRank included
 }
 
 // Rank returns (creating if needed) a rank's summary.

@@ -12,7 +12,14 @@
 // decisions, task commits, recovery spans — into per-rank ring buffers, and
 // exports them as JSONL or as a Chrome trace_event file that opens directly
 // in Perfetto / chrome://tracing (one track per rank, async spans for
-// recoveries).
+// recoveries, and flow arrows connecting each send to its matching recv).
+//
+// Beyond recording, the package analyzes traces: Diff aligns two runs of
+// the same workload and pinpoints where their virtual time first diverged
+// (the engine behind `ftmr-trace diff`), and Flows validates the
+// send→recv pairing of the per-message flow ids. The serialized JSONL form
+// is versioned (SchemaVersion); DESIGN.md §"Trace wire format v2" is the
+// field-by-field contract, pinned by the golden fixtures in testdata/.
 //
 // Tracing is strictly opt-in and nil-safe: every Recorder method is a no-op
 // on a nil receiver, and a nil *Tracer hands out nil Recorders, so the
@@ -26,6 +33,12 @@ import (
 	"ftmrmpi/internal/vtime"
 )
 
+// SchemaVersion is the JSONL wire-format version this package writes (the
+// "schema" field of the header line) and the newest version ReadJSONL
+// accepts. Version 1 files (no header line, no flow ids) remain readable;
+// see DESIGN.md §"Trace wire format v2" for the compatibility rules.
+const SchemaVersion = 2
+
 // Kind identifies the type of one trace event.
 type Kind uint8
 
@@ -36,13 +49,13 @@ const (
 
 	// MPI point-to-point. A=peer world rank (-1 = wildcard), B=tag, C=bytes.
 	KindSendBegin
-	KindSendEnd
-	KindRecvBegin
-	KindRecvEnd
+	KindSendEnd   // Flow carries the message id stamped by the MPI layer
+	KindRecvBegin // A records the requested source (-1 = wildcard)
+	KindRecvEnd   // Flow repeats the consumed message's id (0 = aborted recv)
 
 	// MPI collectives. Name=operation ("barrier", "allgather", ...).
 	KindCollBegin
-	KindCollEnd
+	KindCollEnd // closes the innermost open collective span
 
 	// Checkpoint path. Name=stream, A=bytes, B=frames.
 	KindCkptCommit  // frame(s) committed by the writer
@@ -55,21 +68,21 @@ const (
 	KindFailureDetect // a survivor locally detected the failure
 
 	// ULFM steps. Shrink: A=group size (begin) / survivor count (end).
-	KindRevoke // Name="initiate" (caller) or "observed" (survivor in recovery)
-	KindShrinkBegin
-	KindShrinkEnd
-	KindAgreeBegin // A=flag (Agree) or 0 (shrink-internal agreement)
-	KindAgreeEnd
+	KindRevoke      // Name="initiate" (caller) or "observed" (survivor in recovery)
+	KindShrinkBegin // A=group size entering the shrink
+	KindShrinkEnd   // A=survivor count after the shrink
+	KindAgreeBegin  // A=flag (Agree) or 0 (shrink-internal agreement)
+	KindAgreeEnd    // A=agreed flag value
 
 	// Runner decisions. LoadBalance: Name="parts"|"tasks", A=pieces,
 	// B=survivors. TaskCommit: Name="map"|"reduce", A=task/partition id,
 	// B=records/groups committed.
 	KindLoadBalance
-	KindTaskCommit
+	KindTaskCommit // one map task / reduce partition durably committed
 
 	// Recovery span (recoverDR / resumePrepare), exported as an async span.
 	KindRecoveryBegin
-	KindRecoveryEnd
+	KindRecoveryEnd // closes the rank's open recovery episode
 
 	// Checkpoint corruption detected and quarantined. Name=stream,
 	// A=valid prefix bytes kept, B=total bytes before truncation.
@@ -86,7 +99,7 @@ const (
 	// on the copier thread track so main/copier CPU interleaving (paper
 	// Fig 7) is directly visible. Name=stream, A=bytes.
 	KindCopierBegin
-	KindCopierEnd
+	KindCopierEnd // closes the copier span opened by KindCopierBegin
 
 	// Straggler injection: a rank's compute charges stretch from here on.
 	// A=world rank, B=slowdown factor in permille.
@@ -124,6 +137,8 @@ var kindNames = map[Kind]string{
 	KindSlowRank:      "failure.slow",
 }
 
+// String returns the kind's stable wire name (e.g. "phase.begin"), as used
+// in the JSONL format.
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
@@ -138,16 +153,24 @@ const GlobalRank = -1
 
 // Event is one recorded occurrence. Seq is a tracer-global sequence number:
 // events with equal virtual time are causally ordered by Seq (the simulator
-// runs one process at a time, so Seq order is execution order).
+// runs one process at a time, so Seq order is execution order). VT is
+// virtual simulation time, not wall time — every duration and timestamp in
+// this package is virtual unless a name says otherwise.
 type Event struct {
-	Seq  uint64
+	Seq  uint64        // tracer-global causal sequence number
 	VT   time.Duration // virtual time of the occurrence
 	Rank int           // world rank (GlobalRank for world events)
-	Kind Kind
-	Name string // kind-specific label (phase, collective op, stream, ...)
-	A    int64  // kind-specific (see Kind docs)
-	B    int64
-	C    int64
+	Kind Kind          // event type; fixes the meaning of Name/A/B/C
+	Name string        // kind-specific label (phase, collective op, stream, ...)
+	A    int64         // kind-specific (see Kind docs)
+	B    int64         // kind-specific (see Kind docs)
+	C    int64         // kind-specific (see Kind docs)
+
+	// Flow is the world-unique message id linking a send.end to the
+	// recv.end that consumed the same message (0 = not a flow event). The
+	// Chrome sink renders matching ids as "s"/"f" flow arrows across rank
+	// tracks; Flows() validates the pairing.
+	Flow uint64
 }
 
 // DefaultCapacity is the per-rank ring capacity when none is given.
@@ -251,12 +274,17 @@ type Recorder struct {
 
 // emit appends one event, overwriting the oldest once the ring is full.
 func (r *Recorder) emit(kind Kind, name string, a, b, c int64) {
+	r.emitFlow(kind, name, a, b, c, 0)
+}
+
+// emitFlow is emit with a message flow id attached (p2p completion events).
+func (r *Recorder) emitFlow(kind Kind, name string, a, b, c int64, flow uint64) {
 	if r == nil {
 		return
 	}
 	t := r.t
 	t.seq++
-	ev := Event{Seq: t.seq, VT: t.sim.Now(), Rank: r.rank, Kind: kind, Name: name, A: a, B: b, C: c}
+	ev := Event{Seq: t.seq, VT: t.sim.Now(), Rank: r.rank, Kind: kind, Name: name, A: a, B: b, C: c, Flow: flow}
 	if t.stream != nil {
 		t.stream.write(ev)
 	}
@@ -303,9 +331,11 @@ func (r *Recorder) SendBegin(peer, tag, bytes int) {
 	r.emit(KindSendBegin, "", int64(peer), int64(tag), int64(bytes))
 }
 
-// SendEnd closes the span opened by SendBegin.
-func (r *Recorder) SendEnd(peer, tag, bytes int) {
-	r.emit(KindSendEnd, "", int64(peer), int64(tag), int64(bytes))
+// SendEnd closes the span opened by SendBegin. msg is the world-unique
+// message id stamped by the MPI layer (the flow id pairing this send with
+// its recv.end); 0 when the message never entered delivery.
+func (r *Recorder) SendEnd(peer, tag, bytes int, msg uint64) {
+	r.emitFlow(KindSendEnd, "", int64(peer), int64(tag), int64(bytes), msg)
 }
 
 // RecvBegin marks a receive being posted; peer may be -1 (wildcard).
@@ -314,8 +344,9 @@ func (r *Recorder) RecvBegin(peer, tag int) {
 }
 
 // RecvEnd marks the receive completing with the resolved source and size.
-func (r *Recorder) RecvEnd(peer, tag, bytes int) {
-	r.emit(KindRecvEnd, "", int64(peer), int64(tag), int64(bytes))
+// msg is the flow id of the consumed message (0 on error completions).
+func (r *Recorder) RecvEnd(peer, tag, bytes int, msg uint64) {
+	r.emitFlow(KindRecvEnd, "", int64(peer), int64(tag), int64(bytes), msg)
 }
 
 // CollBegin / CollEnd bracket a collective operation.

@@ -27,9 +27,9 @@ func TestNilTracerAndRecorderAreNoOps(t *testing.T) {
 	rec.PhaseBegin("map")
 	rec.PhaseEnd("map")
 	rec.SendBegin(1, 2, 3)
-	rec.SendEnd(1, 2, 3)
+	rec.SendEnd(1, 2, 3, 7)
 	rec.RecvBegin(-1, 2)
-	rec.RecvEnd(0, 2, 9)
+	rec.RecvEnd(0, 2, 9, 7)
 	rec.CollBegin("barrier")
 	rec.CollEnd("barrier")
 	rec.CkptCommit("map/t0", 10, 1)
@@ -130,7 +130,7 @@ func TestEventVirtualTimestamps(t *testing.T) {
 func TestWriteJSONLParses(t *testing.T) {
 	_, tr := newTestTracer(0)
 	tr.Rank(0).PhaseBegin("map")
-	tr.Rank(0).SendEnd(1, 7, 64)
+	tr.Rank(0).SendEnd(1, 7, 64, 42)
 	tr.Global().FailureInject(1)
 
 	var buf bytes.Buffer
@@ -138,17 +138,37 @@ func TestWriteJSONLParses(t *testing.T) {
 		t.Fatalf("WriteJSONL: %v", err)
 	}
 	var kinds []string
+	sawFlow := false
 	sc := bufio.NewScanner(&buf)
+	line := 0
 	for sc.Scan() {
+		line++
 		var obj map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
 			t.Fatalf("line %q: %v", sc.Text(), err)
 		}
+		if line == 1 {
+			// The v2 header precedes the events (DESIGN.md §"Trace wire
+			// format v2").
+			if obj["format"] != "ftmr-trace" || obj["schema"] != float64(SchemaVersion) {
+				t.Fatalf("header line = %v, want format ftmr-trace schema %d", obj, SchemaVersion)
+			}
+			continue
+		}
 		kinds = append(kinds, obj["kind"].(string))
+		if obj["kind"] == "send.end" {
+			if obj["flow"] != float64(42) {
+				t.Errorf("send.end flow = %v, want 42", obj["flow"])
+			}
+			sawFlow = true
+		}
 	}
 	want := []string{"phase.begin", "send.end", "failure.inject"}
 	if strings.Join(kinds, ",") != strings.Join(want, ",") {
 		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+	if !sawFlow {
+		t.Error("send.end line missing flow id")
 	}
 }
 
@@ -217,8 +237,8 @@ func TestSummarizeBasics(t *testing.T) {
 		rec.CollEnd("allgather")
 		p.Sleep(1 * time.Millisecond)
 		rec.CollEnd("allreduce")
-		rec.SendEnd(1, 0, 100)
-		rec.RecvEnd(1, 0, 200)
+		rec.SendEnd(1, 0, 100, 1)
+		rec.RecvEnd(1, 0, 200, 2)
 		rec.CkptCommit("map/t0", 50, 2)
 		rec.CopierDrain("map/t0", 50)
 		rec.CkptLoad("map/t0", 50, 2)
@@ -289,7 +309,7 @@ func BenchmarkTracerOverheadDisabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rec.SendBegin(1, 2, 64)
-		rec.SendEnd(1, 2, 64)
+		rec.SendEnd(1, 2, 64, 1)
 	}
 }
 
@@ -302,6 +322,6 @@ func BenchmarkTracerOverheadEnabled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec.SendBegin(1, 2, 64)
-		rec.SendEnd(1, 2, 64)
+		rec.SendEnd(1, 2, 64, 1)
 	}
 }
