@@ -3,11 +3,12 @@ GO ?= go
 # `make check` is the tier-1 gate (referenced from ROADMAP.md): static
 # checks, a full build (including every cmd/ binary), the race detector over
 # the internals, the whole test suite, a short fuzz of the checkpoint codecs,
-# the tracer-overhead benchmark that keeps the disabled instrumentation path
-# at one-branch cost, and the ftmr-trace fixture self-test.
-.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest
+# the tracer- and metrics-overhead benchmarks that keep the disabled
+# instrumentation paths at one-branch cost, and the ftmr-trace and
+# ftmr-metrics fixture self-tests.
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest
 
-check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest
+check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest
 
 vet:
 	$(GO) vet ./...
@@ -30,11 +31,14 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 5s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeState$$' -fuzztime 5s
 
-# Runs the raw benchmarks for eyeballing, then the hard gate: the test fails
-# if the disabled tracer path allocates or regresses past one-branch cost.
+# Runs the raw benchmarks for eyeballing, then the hard gates: the tests
+# fail if a disabled tracer or metrics path allocates or regresses past
+# one-branch cost.
 bench-overhead:
 	$(GO) test ./internal/trace -run '^$$' -bench TracerOverhead -benchmem
 	FTMR_OVERHEAD_GATE=1 $(GO) test ./internal/trace -run '^TestTracerOverheadGate$$' -v
+	$(GO) test ./internal/metrics -run '^$$' -bench MetricsOverhead -benchmem
+	FTMR_OVERHEAD_GATE=1 $(GO) test ./internal/metrics -run '^TestMetricsOverheadGate$$' -v
 
 # CLI self-test over the committed fixtures (the same invariants the unit
 # tests pin, exercised through the real binary): self-diff is clean, the
@@ -45,3 +49,15 @@ trace-selftest: build-cmds
 	! bin/ftmr-trace diff internal/trace/testdata/div_a.jsonl internal/trace/testdata/div_b.jsonl >/dev/null
 	bin/ftmr-trace flows internal/trace/testdata/golden_v2.jsonl
 	bin/ftmr-trace summarize -skew internal/trace/testdata/golden_v2.jsonl >/dev/null
+
+# CLI self-test over the committed metrics snapshot (an 8-rank wordcount
+# failover run, regenerated with:
+#   bin/ftmr-sim -procs 8 -kill-phase map -metrics-out internal/metrics/testdata/selftest.om
+# ): it must render and self-diff clean, the default SLOs must pass its
+# health gate, and a deliberately tight checkpoint-overhead bound must make
+# the gate exit nonzero.
+metrics-selftest: build-cmds
+	bin/ftmr-metrics render internal/metrics/testdata/selftest.om >/dev/null
+	bin/ftmr-metrics diff internal/metrics/testdata/selftest.om internal/metrics/testdata/selftest.om >/dev/null
+	bin/ftmr-metrics health internal/metrics/testdata/selftest.om >/dev/null
+	! bin/ftmr-metrics health -slo-ckpt-overhead 0.01 internal/metrics/testdata/selftest.om >/dev/null

@@ -19,6 +19,7 @@ import (
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
 	"ftmrmpi/internal/failure"
+	"ftmrmpi/internal/metrics"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/workloads"
 )
@@ -60,8 +61,21 @@ func main() {
 		chaos     = flag.Int("chaos", 0, "chaos mode: random kills (plus one aimed inside recovery)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for chaos kills and storage faults")
 		chaosWin  = flag.Duration("chaos-window", 2*time.Second, "virtual-time window for chaos kills")
-		stFaults  = flag.Bool("storage-faults", false, "inject seeded storage faults (torn writes, bit flips, read errors)")
+		stFaults  = flag.Bool("storage-faults", false, "inject seeded storage faults (torn writes, bit flips, read errors, latency spikes)")
 		streamTo  = flag.String("trace-stream", "", "stream JSONL events (write-through) to this file during the run")
+
+		metricsOut      = flag.String("metrics-out", "", "write the final metrics snapshot (OpenMetrics text) to this file")
+		metricsInterval = flag.Duration("metrics-interval", 0, "also sample metrics on this virtual-time cadence (0: final snapshot only)")
+		health          = flag.Bool("health", false, "print the SLO health report and exit 1 when the gate fails")
+	)
+	def := metrics.DefaultSLO()
+	var (
+		sloCkpt    = flag.Float64("slo-ckpt-overhead", def.MaxCkptOverhead, "max checkpoint overhead fraction (negative: report-only)")
+		sloRec     = flag.Float64("slo-recovery", def.MaxRecoverySeconds, "max worst-rank recovery seconds (negative: report-only)")
+		sloSkew    = flag.Float64("slo-shuffle-skew", def.MaxShuffleSkew, "max shuffle-byte skew, max/mean (negative: report-only)")
+		sloCopier  = flag.Float64("slo-copier-share", def.MaxCopierShare, "max copier CPU share (negative: report-only)")
+		sloQuar    = flag.Float64("slo-quarantines", def.MaxQuarantines, "max checkpoint quarantines (negative: report-only)")
+		sloMissing = flag.Float64("slo-missing-ranks", def.MaxMissingRanks, "max missing ranks (negative: report-only)")
 	)
 	flag.Parse()
 
@@ -91,6 +105,13 @@ func main() {
 	}()
 	if *tracePath != "" || *streamTo != "" {
 		clus.Trace = trace.New(clus.Sim, *traceCap)
+	}
+	// The registry must exist before Launch: instruments bind per rank at
+	// spawn time.
+	var sampler *metrics.Sampler
+	if *metricsOut != "" || *health {
+		clus.Metrics = metrics.New(clus.Sim)
+		sampler = metrics.StartSampler(clus.Metrics, *metricsInterval)
 	}
 	var streamFile *os.File
 	if *streamTo != "" {
@@ -191,7 +212,8 @@ func main() {
 			}
 		}
 	}
-	for _, res := range h.Results() {
+	allResults := h.Results()
+	for _, res := range allResults {
 		report(res)
 	}
 
@@ -202,19 +224,23 @@ func main() {
 		h2 := core.RunSingle(clus, spec)
 		clus.Sim.Run()
 		report(h2.Result())
+		allResults = append(allResults, h2.Result())
 	}
 
 	if *stFaults {
 		s := clus.PFS.Faults.Stats
 		for _, n := range clus.Nodes {
 			if n.Local != nil && n.Local.Faults != nil {
-				s.TornWrites += n.Local.Faults.Stats.TornWrites
-				s.BitFlips += n.Local.Faults.Stats.BitFlips
-				s.ReadErrors += n.Local.Faults.Stats.ReadErrors
+				ls := n.Local.Faults.Stats
+				s.TornWrites += ls.TornWrites
+				s.BitFlips += ls.BitFlips
+				s.ReadErrors += ls.ReadErrors
+				s.ReadSpikes += ls.ReadSpikes
+				s.WriteSpikes += ls.WriteSpikes
 			}
 		}
-		fmt.Fprintf(os.Stderr, "storage faults injected: torn=%d bitflip=%d readerr=%d\n",
-			s.TornWrites, s.BitFlips, s.ReadErrors)
+		fmt.Fprintf(os.Stderr, "storage faults injected: torn=%d bitflip=%d readerr=%d rspike=%d wspike=%d\n",
+			s.TornWrites, s.BitFlips, s.ReadErrors, s.ReadSpikes, s.WriteSpikes)
 	}
 	if streamFile != nil {
 		if err := clus.Trace.FlushStream(); err != nil {
@@ -230,5 +256,43 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (%s)\n", *tracePath, *traceFmt)
+	}
+
+	if clus.Metrics != nil {
+		core.ExportResultMetrics(clus.Metrics, allResults)
+		var final metrics.Snapshot
+		if sampler != nil {
+			snaps := sampler.Final()
+			final = snaps[len(snaps)-1]
+		} else {
+			final = clus.Metrics.Snapshot()
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			if err := metrics.WriteOpenMetrics(f, final); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			_ = f.Close()
+			fmt.Fprintf(os.Stderr, "metrics written to %s (openmetrics)\n", *metricsOut)
+		}
+		if *health {
+			hl := metrics.Evaluate(final, metrics.SLO{
+				MaxCkptOverhead:    *sloCkpt,
+				MaxRecoverySeconds: *sloRec,
+				MaxShuffleSkew:     *sloSkew,
+				MaxCopierShare:     *sloCopier,
+				MaxQuarantines:     *sloQuar,
+				MaxMissingRanks:    *sloMissing,
+			})
+			hl.Render(os.Stdout)
+			if hl.Breached() {
+				os.Exit(1)
+			}
+		}
 	}
 }

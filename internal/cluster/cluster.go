@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"ftmrmpi/internal/metrics"
 	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
@@ -89,6 +90,11 @@ type Cluster struct {
 	// injection). nil disables tracing at the cost of one branch per
 	// instrumentation point.
 	Trace *trace.Tracer
+
+	// Metrics, when non-nil, is the live metrics registry every layer binds
+	// its instruments to. Like Trace, nil disables all metric collection at
+	// the cost of one branch per instrumentation point.
+	Metrics *metrics.Registry
 }
 
 // New builds a cluster on a fresh simulation.

@@ -301,6 +301,7 @@ type ckptWriter struct {
 	cp      *copier
 	m       *RankMetrics
 	rec     *trace.Recorder
+	cm      *coreMets
 	agent   *lbAgent // fed phase-boundary drain stalls (trace LB model)
 }
 
@@ -316,13 +317,17 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 	w.m.CkptBytes += int64(len(data))
 	w.rec.CkptCommit(stream, len(data), frames)
 	if w.loc == LocLocalCopier && w.local != nil {
-		w.m.IOWait += appendRepair(p, w.local, path, data, frames)
+		d := appendRepair(p, w.local, path, data, frames)
+		w.m.IOWait += d
+		w.cm.ckptWrite(d)
 		w.cp.enqueue(stream)
 		return
 	}
 	// Direct to PFS: every frame is a distinct small operation against the
 	// shared file system (§4.1.3's slow path).
-	w.m.IOWait += appendRepair(p, w.pfs, path, data, frames)
+	d := appendRepair(p, w.pfs, path, data, frames)
+	w.m.IOWait += d
+	w.cm.ckptWrite(d)
 }
 
 // appendRepair appends data to path on t, rolling back and retrying torn
@@ -352,6 +357,7 @@ func (w *ckptWriter) phaseSync(p *vtime.Proc) {
 		w.cp.drainWait(p)
 		d := p.Now() - t0
 		w.m.IOWait += d
+		w.cm.ckptDrain(d)
 		if w.agent != nil {
 			w.agent.noteStall(d)
 		}
@@ -366,6 +372,7 @@ type ckptReader struct {
 	prefetch bool
 	m        *RankMetrics
 	rec      *trace.Recorder
+	cm       *coreMets
 	// staged marks streams already prefetched to the local disk.
 	staged map[string]bool
 }
@@ -417,6 +424,7 @@ func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 		// only costs rework, which the recovery path already handles for
 		// streams that never became durable at all.
 		r.rec.CkptCorrupt(stream, consumed, len(raw))
+		r.cm.quarantine()
 		r.m.Counters["ckpt_corrupt"]++
 		r.pfs.Truncate(path, consumed)
 		if r.local != nil && r.staged[stream] {

@@ -187,6 +187,21 @@ func (a *lbAgent) fitTrace(now time.Duration) (intercept, slope float64) {
 	return intercept, slope
 }
 
+// residualRMS returns the root-mean-square residual of the model (a, b)
+// over the agent's full observation history, or 0 with no observations —
+// a live gauge of how well the linear fit explains observed task times.
+func (a *lbAgent) residualRMS(intercept, slope float64) float64 {
+	if len(a.obs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, o := range a.obs {
+		r := o.secs - (intercept + slope*o.bytes)
+		ss += r * r
+	}
+	return math.Sqrt(ss / float64(len(a.obs)))
+}
+
 // lbModel is one survivor's published model and backlog, exchanged during
 // recovery.
 type lbModel struct {

@@ -67,6 +67,7 @@ type runner struct {
 	p    *vtime.Proc
 	m    *RankMetrics
 	rec  *trace.Recorder // nil when tracing is disabled
+	cm   *coreMets       // nil when metrics are disabled; same one-branch discipline
 
 	world0    []int // world ranks participating at job start
 	tt        *taskTable
@@ -108,6 +109,8 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		world0[i] = c.WorldRank(i)
 	}
 	m := newRankMetrics(c.Self().WorldRank())
+	cm := bindCoreMets(j.clus.Metrics, c.Self().WorldRank())
+	mirrorRankMetrics(j.clus.Metrics, m, c.Self().WorldRank())
 	r := &runner{
 		job:        j,
 		spec:       spec,
@@ -115,6 +118,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		p:          c.Proc(),
 		m:          m,
 		rec:        c.Self().Recorder(),
+		cm:         cm,
 		world0:     world0,
 		nParts:     c.Size(),
 		partOwner:  append([]int(nil), world0...),
@@ -136,6 +140,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		pfs:     clus.PFS,
 		m:       m,
 		rec:     r.rec,
+		cm:      cm,
 		agent:   &r.lb,
 	}
 	if local == nil {
@@ -158,6 +163,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		prefetch: spec.Prefetch && local != nil,
 		m:        m,
 		rec:      r.rec,
+		cm:       cm,
 		staged:   make(map[string]bool),
 	}
 	return r
@@ -356,6 +362,7 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 				r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds(), r.p.Now())
 			}
 			r.rec.TaskCommit("map", id, int64(restoredRecs))
+			r.cm.mapTaskDone((r.p.Now() - t0).Seconds())
 			return nil
 		}
 	}
@@ -482,6 +489,7 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 	}
 	r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds(), r.p.Now())
 	r.rec.TaskCommit("map", id, int64(rec))
+	r.cm.mapTaskDone((r.p.Now() - t0).Seconds())
 	return nil
 }
 
@@ -795,6 +803,7 @@ func (r *runner) phaseReduce() error {
 		scratch = clus.PFS
 	}
 	for _, part := range r.ownedParts() {
+		pt0 := r.p.Now()
 		m := r.kmv[part]
 		if m == nil {
 			m = &kvbuf.KMV{}
@@ -838,6 +847,7 @@ func (r *runner) phaseReduce() error {
 				r.ck.write(r.p, partStream(part), fr, 1)
 			}
 			r.rec.TaskCommit("reduce", part, int64(g))
+			r.cm.taskCommit()
 			return nil
 		}
 		for {
@@ -860,6 +870,7 @@ func (r *runner) phaseReduce() error {
 		if err := commit(); err != nil {
 			return err
 		}
+		r.cm.reducePartDone((r.p.Now() - pt0).Seconds())
 	}
 	r.ck.phaseSync(r.p)
 	return r.net(func() error { return r.comm.Barrier() })
@@ -887,6 +898,7 @@ func drErrHandler(c *mpi.Comm, err error) {
 // must be restartable, not merely runnable.
 func (r *runner) recoverDR(retry bool) (err error) {
 	t0 := r.p.Now()
+	r.cm.recoveryAttempt()
 	// Surface the recovery window to phase observers (the failure injector
 	// uses this to aim kills *inside* recovery).
 	r.job.h.notifyPhase(r.myWorld(), PhaseRecovery)
@@ -1324,6 +1336,7 @@ func (r *runner) encodeState() []byte {
 		debt = b * partDebtCPUFactor * r.pendingDebtBytes()
 	}
 	r.rec.LBFit(r.lb.kind.String(), a, b, len(r.lb.obs))
+	r.cm.lbFit(a, b, r.lb.residualRMS(a, b), len(r.lb.obs))
 	var buf []byte
 	var tmp [8]byte
 	buf = append(buf, byte(r.phase))

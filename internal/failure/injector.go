@@ -11,14 +11,27 @@ import (
 
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/metrics"
 	"ftmrmpi/internal/mpi"
 	"ftmrmpi/internal/storage"
 )
+
+// countInjected bumps the world-scoped injected-failure counter for one
+// fault kind ("kill", "slow"). Family getters are idempotent, so binding at
+// the injection site keeps the injectors registry-optional.
+func countInjected(reg *metrics.Registry, kind string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterL("ftmr_failures_injected",
+		"Process-level faults injected, by kind.", "kind", kind).Inc()
+}
 
 // inject records the injector's decision on the world trace track (if
 // tracing is on) and fires the kill.
 func inject(w *mpi.World, rank int) {
 	w.Clus.Trace.Global().FailureInject(rank)
+	countInjected(w.Clus.Metrics, "kill")
 	w.Kill(rank)
 }
 
@@ -48,6 +61,7 @@ func SlowRank(w *mpi.World, rank int, factor float64, at time.Duration) {
 			return
 		}
 		w.Clus.Trace.Global().SlowRank(rank, factor)
+		countInjected(w.Clus.Metrics, "slow")
 		r.SetComputeScale(factor)
 	})
 }
@@ -162,9 +176,11 @@ func Chaos(h *core.Handle, seed int64, maxKills int, window time.Duration) {
 // seed so faults do not correlate across tiers.
 func StorageFaults(clus *cluster.Cluster, seed int64) {
 	clus.PFS.Faults = storage.NewInjector(storage.ChaosPolicy(seed))
+	clus.PFS.Faults.BindMetrics(clus.Metrics, clus.PFS.Name)
 	for i, n := range clus.Nodes {
 		if n.Local != nil {
 			n.Local.Faults = storage.NewInjector(storage.ChaosPolicy(seed + 1 + int64(i)))
+			n.Local.Faults.BindMetrics(clus.Metrics, n.Local.Name)
 		}
 	}
 }

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// LogLinearBuckets returns histogram upper bounds covering the decades
+// [10^minExp, 10^maxExp] with per linearly spaced buckets per decade
+// (HDR-histogram style): within decade d the bounds are
+// 10^d * (1 + 9*j/per) for j = 1..per, so the final bound of each decade is
+// exactly the next power of ten. The implicit +Inf bucket catches larger
+// values; anything below 10^minExp lands in the first bucket. Panics when
+// maxExp <= minExp or per < 1.
+func LogLinearBuckets(minExp, maxExp, per int) []float64 {
+	if maxExp <= minExp || per < 1 {
+		panic("metrics: LogLinearBuckets requires maxExp > minExp and per >= 1")
+	}
+	out := make([]float64, 0, (maxExp-minExp)*per)
+	for d := minExp; d < maxExp; d++ {
+		base := math.Pow(10, float64(d))
+		for j := 1; j <= per; j++ {
+			out = append(out, base*(1+9*float64(j)/float64(per)))
+		}
+	}
+	return out
+}
+
+// TaskSecondsBuckets are the default bounds for task-latency histograms:
+// log-linear, 5 buckets per decade, spanning 10 microseconds to 100 seconds
+// of virtual time.
+var TaskSecondsBuckets = LogLinearBuckets(-5, 2, 5)
+
+// bucketIndex returns the index of the first bound >= v (Prometheus "le"
+// semantics), or len(bounds) for the +Inf bucket.
+func bucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLogLinearBuckets pins the bound layout: per bounds per decade, the
+// final bound of each decade exactly the next power of ten, ascending.
+func TestLogLinearBuckets(t *testing.T) {
+	b := LogLinearBuckets(0, 2, 5)
+	if len(b) != 10 {
+		t.Fatalf("len = %d, want 10", len(b))
+	}
+	want := []float64{2.8, 4.6, 6.4, 8.2, 10, 28, 46, 64, 82, 100}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	// Decade-final bounds must be *exactly* the next power of ten, because
+	// 1 + 9*per/per == 10 with no rounding.
+	if b[4] != 10 || b[9] != 100 {
+		t.Fatalf("decade-final bounds not exact: %v, %v", b[4], b[9])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, b)
+		}
+	}
+}
+
+// TestTaskSecondsBuckets pins the default task-latency layout: 5 per decade
+// over [1e-5, 1e2] is 7 decades = 35 bounds, spanning 10µs..100s.
+func TestTaskSecondsBuckets(t *testing.T) {
+	b := TaskSecondsBuckets
+	if len(b) != 35 {
+		t.Fatalf("len = %d, want 35", len(b))
+	}
+	if b[0] <= 1e-5 || b[0] >= 1e-4 {
+		t.Fatalf("first bound %v outside first decade", b[0])
+	}
+	if b[len(b)-1] != 100 {
+		t.Fatalf("last bound = %v, want 100", b[len(b)-1])
+	}
+}
+
+// TestLogLinearBucketsPanics pins the argument contract.
+func TestLogLinearBucketsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		min, max, per    int
+	}{
+		{"equal exps", 2, 2, 5},
+		{"inverted exps", 3, 1, 5},
+		{"zero per", 0, 1, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			LogLinearBuckets(tc.min, tc.max, tc.per)
+		}()
+	}
+}
+
+// TestBucketIndex pins Prometheus le semantics: a value lands in the first
+// bucket whose upper bound is >= v, with exact-bound values included
+// ("less-or-equal"), and anything past the last bound in the +Inf bucket.
+func TestBucketIndex(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{
+		{0.5, 0},
+		{1, 0},    // exactly on a bound: le includes it
+		{1.001, 1},
+		{10, 1},
+		{99.9, 2},
+		{100, 2},
+		{100.1, 3}, // +Inf bucket
+		{1e9, 3},
+		{-5, 0}, // below the first bound still lands in bucket 0
+	} {
+		if got := bucketIndex(bounds, tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramObserveCumulative pins that Observe fills per-bucket counts
+// that cumulate to count, and that the exporter's cumulative view matches.
+func TestHistogramObserveCumulative(t *testing.T) {
+	r := New(nil)
+	h := r.Histogram("ftmr_lat", "h", 0, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	f := r.Snapshot().Family("ftmr_lat")
+	s := f.Series[0]
+	want := []uint64{2, 1, 1, 2} // le=1: {0.5, 1}; le=10: {5}; le=100: {50}; +Inf: {500, 5000}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 6 || s.Sum != 5556.5 {
+		t.Fatalf("count/sum = %d/%v, want 6/5556.5", s.Count, s.Sum)
+	}
+}

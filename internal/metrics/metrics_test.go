@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/vtime"
+)
+
+// TestNilRegistryEndToEnd pins the disabled path's contract: a nil registry
+// hands out nil instruments, every operation no-ops, and the lifecycle
+// helpers (OnSample, Snapshot, StartSampler) are all safe to call.
+func TestNilRegistryEndToEnd(t *testing.T) {
+	var r *Registry
+	c := r.Counter("ftmr_x", "h", 0)
+	if c != nil {
+		t.Fatalf("nil registry returned non-nil counter")
+	}
+	c.Inc()
+	c.Add(3)
+	cl := r.CounterL("ftmr_x", "h", "tier", "pfs")
+	if cl != nil {
+		t.Fatalf("nil registry returned non-nil labeled counter")
+	}
+	cl.Inc()
+	g := r.Gauge("ftmr_g", "h", 1)
+	if g != nil {
+		t.Fatalf("nil registry returned non-nil gauge")
+	}
+	g.Set(1)
+	g.Add(-1)
+	h := r.Histogram("ftmr_h", "h", 0, TaskSecondsBuckets)
+	if h != nil {
+		t.Fatalf("nil registry returned non-nil histogram")
+	}
+	h.Observe(0.5)
+	r.OnSample(func() { t.Fatal("hook ran on nil registry") })
+	snap := r.Snapshot()
+	if snap.VTSeconds != 0 || len(snap.Families) != 0 {
+		t.Fatalf("nil registry snapshot not zero: %+v", snap)
+	}
+	if s := StartSampler(r, time.Second); s != nil {
+		t.Fatalf("nil registry yielded non-nil sampler")
+	}
+	var s *Sampler
+	if got := s.Final(); got != nil {
+		t.Fatalf("nil sampler Final = %v", got)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("nil sampler Count = %d", s.Count())
+	}
+}
+
+// TestInstrumentGettersShareState pins getter idempotence: repeated calls for
+// the same (name, rank) return instruments bound to one underlying series.
+func TestInstrumentGettersShareState(t *testing.T) {
+	r := New(vtime.NewSim())
+	a := r.Counter("ftmr_c", "h", 3)
+	b := r.Counter("ftmr_c", "h", 3)
+	a.Inc()
+	b.Add(2)
+	if v, ok := r.Snapshot().Series("ftmr_c", "3"); !ok || v != 3 {
+		t.Fatalf("shared counter series = %v,%v; want 3,true", v, ok)
+	}
+
+	g1 := r.Gauge("ftmr_gg", "h", 0)
+	g2 := r.Gauge("ftmr_gg", "h", 0)
+	g1.Set(5)
+	g2.Add(1)
+	if v, _ := r.Snapshot().Series("ftmr_gg", "0"); v != 6 {
+		t.Fatalf("shared gauge = %v, want 6", v)
+	}
+
+	h1 := r.Histogram("ftmr_hh", "h", 0, []float64{1, 10})
+	h2 := r.Histogram("ftmr_hh", "h", 0, []float64{1, 10})
+	h1.Observe(0.5)
+	h2.Observe(5)
+	f := r.Snapshot().Family("ftmr_hh")
+	if f == nil || f.Series[0].Count != 2 || f.Series[0].Sum != 5.5 {
+		t.Fatalf("shared histogram = %+v", f)
+	}
+}
+
+// TestWorldAndRankSeries pins the rank-label convention: negative rank is
+// the unlabeled world series, others carry the decimal rank, and
+// Snapshot.Total aggregates across all of them.
+func TestWorldAndRankSeries(t *testing.T) {
+	r := New(vtime.NewSim())
+	r.Counter("ftmr_c", "h", -1).Add(10)
+	r.Counter("ftmr_c", "h", 0).Add(1)
+	r.Counter("ftmr_c", "h", 7).Add(2)
+	snap := r.Snapshot()
+	if v, ok := snap.Series("ftmr_c", ""); !ok || v != 10 {
+		t.Fatalf("world series = %v,%v", v, ok)
+	}
+	if got := snap.Total("ftmr_c"); got != 13 {
+		t.Fatalf("Total = %v, want 13", got)
+	}
+	if got := snap.Total("ftmr_absent"); got != 0 {
+		t.Fatalf("Total of absent family = %v", got)
+	}
+	if RankLabel(-1) != "" || RankLabel(0) != "0" || RankLabel(12) != "12" {
+		t.Fatalf("RankLabel convention broken")
+	}
+}
+
+// TestSeriesSortOrder pins snapshot determinism: families lexical, series
+// unlabeled first, then numeric label values in numeric order (rank 10 after
+// rank 9), then everything else lexically after the numerics.
+func TestSeriesSortOrder(t *testing.T) {
+	r := New(vtime.NewSim())
+	for _, rank := range []int{10, 2, -1, 9} {
+		r.Counter("ftmr_b", "h", rank).Inc()
+	}
+	r.CounterL("ftmr_a", "h", "tier", "pfs").Inc()
+	r.CounterL("ftmr_a", "h", "tier", "local-n0").Inc()
+	snap := r.Snapshot()
+	if snap.Families[0].Name != "ftmr_a" || snap.Families[1].Name != "ftmr_b" {
+		t.Fatalf("family order = %s, %s", snap.Families[0].Name, snap.Families[1].Name)
+	}
+	var got []string
+	for _, s := range snap.Families[1].Series {
+		got = append(got, s.LabelValue)
+	}
+	want := []string{"", "2", "9", "10"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank series order = %v, want %v", got, want)
+		}
+	}
+	tiers := snap.Families[0].Series
+	if tiers[0].LabelValue != "local-n0" || tiers[1].LabelValue != "pfs" {
+		t.Fatalf("tier series order = %q, %q", tiers[0].LabelValue, tiers[1].LabelValue)
+	}
+	if !labelLess("5", "x") || labelLess("x", "5") {
+		t.Fatalf("numerics must sort before non-numerics")
+	}
+}
+
+// TestOnSampleHookOrderAndTiming pins that hooks run in registration order
+// and before the families are frozen (their writes land in the snapshot).
+func TestOnSampleHookOrderAndTiming(t *testing.T) {
+	r := New(vtime.NewSim())
+	c := r.Counter("ftmr_hooked", "h", 0)
+	var order []int
+	r.OnSample(func() { order = append(order, 1); c.Add(5) })
+	r.OnSample(func() { order = append(order, 2) })
+	snap := r.Snapshot()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("hook order = %v", order)
+	}
+	if v, _ := snap.Series("ftmr_hooked", "0"); v != 5 {
+		t.Fatalf("hook write missing from snapshot: %v", v)
+	}
+}
+
+// TestSnapshotIsDeepCopy pins immutability: mutating the registry after a
+// snapshot must not change the snapshot.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := New(vtime.NewSim())
+	c := r.Counter("ftmr_c", "h", 0)
+	h := r.Histogram("ftmr_h", "h", 0, []float64{1})
+	c.Inc()
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	c.Add(100)
+	h.Observe(0.5)
+	if v, _ := snap.Series("ftmr_c", "0"); v != 1 {
+		t.Fatalf("snapshot counter mutated: %v", v)
+	}
+	f := snap.Family("ftmr_h")
+	if f.Series[0].Count != 1 || f.Series[0].Counts[0] != 1 {
+		t.Fatalf("snapshot histogram mutated: %+v", f.Series[0])
+	}
+}
+
+// TestConflictingRegistrationPanics pins that re-registering a family with a
+// different kind or label key is a programming error.
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := New(vtime.NewSim())
+	r.Counter("ftmr_c", "h", 0)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"kind", func() { r.Gauge("ftmr_c", "h", 0) }},
+		{"label", func() { r.CounterL("ftmr_c", "h", "tier", "pfs") }},
+		{"bad name", func() { r.Counter("bad name", "h", 0) }},
+		{"bad label key", func() { r.CounterL("ftmr_d", "h", "bad key", "x") }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: conflicting registration did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// TestSanitizeName pins the user-counter name mapping.
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", "_"},
+		{"words", "words"},
+		{"lines read", "lines_read"},
+		{"9lives", "_9lives"},
+		{"a-b.c", "a_b_c"},
+		{"ok_name:x", "ok_name:x"},
+		{"héllo", "h_llo"},
+	} {
+		if got := SanitizeName(tc.in); got != tc.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+		if !validName(SanitizeName(tc.in)) {
+			t.Errorf("SanitizeName(%q) not a valid name", tc.in)
+		}
+	}
+}
+
+// TestSamplerCadence pins the sampler: snapshots on the virtual-time cadence
+// while other events remain, a final snapshot from Final, and monotone
+// timestamps.
+func TestSamplerCadence(t *testing.T) {
+	sim := vtime.NewSim()
+	r := New(sim)
+	c := r.Counter("ftmr_work", "h", 0)
+	// A process that works for 35ms of virtual time, bumping each ms.
+	sim.Spawn("worker", func(p *vtime.Proc) {
+		for i := 0; i < 35; i++ {
+			p.Sleep(time.Millisecond)
+			c.Inc()
+		}
+	})
+	s := StartSampler(r, 10*time.Millisecond)
+	sim.Run()
+	snaps := s.Final()
+	// Ticks at 10, 20, 30ms fire with the worker still live; the 40ms tick
+	// only fires if armed while work remained. Final adds one more.
+	if len(snaps) < 4 {
+		t.Fatalf("got %d snapshots, want >= 4", len(snaps))
+	}
+	if s.Count() != len(snaps) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].VTSeconds < snaps[i-1].VTSeconds {
+			t.Fatalf("snapshot times not monotone: %v", snaps)
+		}
+	}
+	first, last := snaps[0], snaps[len(snaps)-1]
+	// The 10ms tick ties with the worker's 10th wake; either event order is
+	// deterministic per seed but not pinned here.
+	if v, _ := first.Series("ftmr_work", "0"); v != 9 && v != 10 {
+		t.Fatalf("first cadence snapshot counter = %v, want 9 or 10", v)
+	}
+	if v, _ := last.Series("ftmr_work", "0"); v != 35 {
+		t.Fatalf("final snapshot counter = %v, want 35", v)
+	}
+	if StartSampler(r, 0) != nil {
+		t.Fatalf("zero interval must disable the sampler")
+	}
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"os"
+	"testing"
+
+	"ftmrmpi/internal/vtime"
+)
+
+// TestMetricsOverheadGate is the regression gate behind `make bench-overhead`
+// (part of `make check`): it re-measures the two overhead benchmarks with
+// testing.Benchmark and fails the build if the disabled (nil-instrument)
+// path ever allocates or stops being decisively cheaper than the live path —
+// a disabled instrumented site must stay at one-branch cost, so anything
+// within 2x of a live counter add means someone put work ahead of the nil
+// check. Gated by FTMR_OVERHEAD_GATE so wall-clock-sensitive timing never
+// flakes the plain `go test ./...` tier-1 run.
+func TestMetricsOverheadGate(t *testing.T) {
+	if os.Getenv("FTMR_OVERHEAD_GATE") == "" {
+		t.Skip("set FTMR_OVERHEAD_GATE=1 (make bench-overhead) to run the timing gate")
+	}
+	disabled := testing.Benchmark(BenchmarkMetricsOverheadDisabled)
+	enabled := testing.Benchmark(BenchmarkMetricsOverheadEnabled)
+	t.Logf("disabled: %s\nenabled:  %s", disabled.String(), enabled.String())
+	if a := disabled.AllocsPerOp(); a != 0 {
+		t.Fatalf("disabled metrics path allocates (%d allocs/op); must be alloc-free", a)
+	}
+	if a := enabled.AllocsPerOp(); a != 0 {
+		t.Fatalf("enabled metrics path allocates (%d allocs/op) in steady state", a)
+	}
+	dis, en := disabled.NsPerOp(), enabled.NsPerOp()
+	if dis*2 > en {
+		t.Fatalf("disabled path too slow: %dns/op vs %dns/op enabled — the nil check is no longer the only cost", dis, en)
+	}
+}
+
+// BenchmarkMetricsOverheadDisabled measures the disabled hot path: the nil
+// instruments a nil registry hands out must cost a single branch each (plus
+// call overhead when not inlined). The loop mirrors one instrumented task
+// completion: a counter bump, a gauge set, and a histogram observation.
+func BenchmarkMetricsOverheadDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("ftmr_bench", "h", 0)
+	g := r.Gauge("ftmr_bench_g", "h", 0)
+	h := r.Histogram("ftmr_bench_h", "h", 0, TaskSecondsBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(2.5)
+		g.Set(float64(i))
+		h.Observe(0.015)
+	}
+}
+
+// BenchmarkMetricsOverheadEnabled measures the same site sequence against a
+// live registry (steady state: series already registered).
+func BenchmarkMetricsOverheadEnabled(b *testing.B) {
+	r := New(vtime.NewSim())
+	c := r.Counter("ftmr_bench", "h", 0)
+	g := r.Gauge("ftmr_bench_g", "h", 0)
+	h := r.Histogram("ftmr_bench_h", "h", 0, TaskSecondsBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(2.5)
+		g.Set(float64(i))
+		h.Observe(0.015)
+	}
+}

@@ -62,6 +62,7 @@ func prank(vr, root, n int) int { return (vr + root) % n }
 // Barrier blocks until every rank in the communicator has entered it. On
 // failure it raises an error through the error handler.
 func (c *Comm) Barrier() error {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("barrier")
 		defer rec.CollEnd("barrier")
@@ -79,6 +80,7 @@ func (c *Comm) Barrier() error {
 // Bcast distributes root's data to every rank and returns it. All ranks
 // must pass the same root; non-root ranks' data argument is ignored.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("bcast")
 		defer rec.CollEnd("bcast")
@@ -110,6 +112,7 @@ func (c *Comm) bcastTree(seq, root int, data []byte) ([]byte, error) {
 // Gather collects each rank's data at root. At root, the returned slice is
 // indexed by communicator rank; other ranks get nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("gather")
 		defer rec.CollEnd("gather")
@@ -158,6 +161,7 @@ func (c *Comm) gatherTree(seq, root int, data []byte, out [][]byte) error {
 // Allgather collects every rank's data on every rank, indexed by
 // communicator rank.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("allgather")
 		defer rec.CollEnd("allgather")
@@ -205,6 +209,7 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 // AllreduceInt64 folds one int64 per rank with op (associative and
 // commutative) and returns the result on every rank.
 func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) (int64, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("allreduce")
 		defer rec.CollEnd("allreduce")
@@ -243,6 +248,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 	if len(bufs) != n {
 		return nil, fmt.Errorf("mpi: Alltoallv needs %d buffers, got %d", n, len(bufs))
 	}
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("alltoallv")
 		defer rec.CollEnd("alltoallv")

@@ -11,6 +11,7 @@ import (
 // ReduceInt64 folds one int64 per rank with op at root. Non-root ranks
 // receive 0.
 func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("reduce")
 		defer rec.CollEnd("reduce")
@@ -38,6 +39,7 @@ func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64,
 // caller's piece. Non-root ranks pass nil. It runs over the same binomial
 // tree as Bcast, forwarding each subtree's bundle.
 func (c *Comm) Scatter(root int, data [][]byte) ([]byte, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("scatter")
 		defer rec.CollEnd("scatter")
@@ -99,6 +101,7 @@ func subtreeRanks(vr, n int) []int {
 // ScanInt64 computes the inclusive prefix reduction: rank i receives
 // op(v₀, …, vᵢ). Implemented as a ring pass.
 func (c *Comm) ScanInt64(v int64, op func(a, b int64) int64) (int64, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("scan")
 		defer rec.CollEnd("scan")
@@ -174,6 +177,7 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 // (MPI_UNDEFINED) yields a nil communicator. Collective over all live
 // ranks.
 func (c *Comm) Split(color, key int) (*Comm, error) {
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("split")
 		defer rec.CollEnd("split")

@@ -1,0 +1,83 @@
+package mpi
+
+import "ftmrmpi/internal/metrics"
+
+// rankMets bundles a rank's pre-bound metric instruments. It is nil when
+// the cluster has no metrics registry, and every method no-ops on a nil
+// receiver, so each hot-path instrumentation point costs one branch —
+// the same discipline as the trace Recorder.
+type rankMets struct {
+	sends, sendBytes *metrics.Counter
+	recvs, recvBytes *metrics.Counter
+	colls            *metrics.Counter
+	revokes          *metrics.Counter
+	shrinks, agrees  *metrics.Counter
+}
+
+// bindRankMets registers the rank's MPI instrument series; nil registry
+// yields nil (metrics disabled).
+func bindRankMets(reg *metrics.Registry, rank int) *rankMets {
+	if reg == nil {
+		return nil
+	}
+	return &rankMets{
+		sends:     reg.Counter("ftmr_mpi_sends", "Point-to-point sends initiated.", rank),
+		sendBytes: reg.Counter("ftmr_mpi_send_bytes", "Point-to-point payload bytes sent.", rank),
+		recvs:     reg.Counter("ftmr_mpi_recvs", "Point-to-point messages received.", rank),
+		recvBytes: reg.Counter("ftmr_mpi_recv_bytes", "Point-to-point payload bytes received.", rank),
+		colls:     reg.Counter("ftmr_mpi_collectives", "Collective operations entered.", rank),
+		revokes:   reg.Counter("ftmr_mpi_revokes", "ULFM Revoke calls (including re-initiations).", rank),
+		shrinks:   reg.Counter("ftmr_mpi_shrinks", "ULFM Shrink calls.", rank),
+		agrees:    reg.Counter("ftmr_mpi_agrees", "ULFM Agree calls.", rank),
+	}
+}
+
+// sendDone counts one initiated send of n payload bytes.
+func (m *rankMets) sendDone(n int) {
+	if m == nil {
+		return
+	}
+	m.sends.Inc()
+	m.sendBytes.Add(float64(n))
+}
+
+// recvDone counts one delivered message of n payload bytes.
+func (m *rankMets) recvDone(n int) {
+	if m == nil {
+		return
+	}
+	m.recvs.Inc()
+	m.recvBytes.Add(float64(n))
+}
+
+// collInc counts one collective operation entry.
+func (m *rankMets) collInc() {
+	if m == nil {
+		return
+	}
+	m.colls.Inc()
+}
+
+// revokeInc counts one Revoke call.
+func (m *rankMets) revokeInc() {
+	if m == nil {
+		return
+	}
+	m.revokes.Inc()
+}
+
+// shrinkInc counts one Shrink call.
+func (m *rankMets) shrinkInc() {
+	if m == nil {
+		return
+	}
+	m.shrinks.Inc()
+}
+
+// agreeInc counts one Agree call.
+func (m *rankMets) agreeInc() {
+	if m == nil {
+		return
+	}
+	m.agrees.Inc()
+}

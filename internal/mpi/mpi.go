@@ -107,6 +107,9 @@ type Rank struct {
 	// rec is the rank's trace recorder; nil when tracing is disabled, so
 	// every hot-path instrumentation point costs a single nil branch.
 	rec *trace.Recorder
+	// met is the rank's metrics bundle; nil when metrics are disabled, with
+	// the same one-branch discipline as rec.
+	met *rankMets
 }
 
 // Recorder returns the rank's trace recorder (nil when tracing is off).
@@ -208,7 +211,7 @@ func Launch(clus *cluster.Cluster, n int, main func(c *Comm)) *World {
 	for i := 0; i < n; i++ {
 		i := i
 		r := &Rank{w: w, world: i, cpu: clus.CoreOf(i), node: clus.NodeOf(i), alive: true,
-			rec: clus.Trace.Rank(i)}
+			rec: clus.Trace.Rank(i), met: bindRankMets(clus.Metrics, i)}
 		w.ranks = append(w.ranks, r)
 		r.proc = clus.Sim.Spawn(fmt.Sprintf("rank%d", i), func(p *vtime.Proc) {
 			defer func() { w.done++ }()
@@ -426,6 +429,7 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 	}
 	st.w.msgID++
 	id := st.w.msgID
+	c.r.met.sendDone(len(data))
 	if rec := c.r.rec; rec != nil {
 		rec.SendBegin(dworld, tag, len(data))
 		defer rec.SendEnd(dworld, tag, len(data), id)
@@ -497,6 +501,7 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 	}
 	box := st.boxes[c.rank]
 	if m := box.matchBuffered(src, tag); m != nil {
+		c.r.met.recvDone(len(m.Data))
 		if rec != nil {
 			rec.RecvBegin(srcWorld, tag)
 			rec.RecvEnd(srcWorld, tag, len(m.Data), m.id)
@@ -527,6 +532,7 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 		}
 		return nil, rw.err
 	}
+	c.r.met.recvDone(len(rw.msg.Data))
 	if rec != nil {
 		rec.RecvEnd(srcWorld, tag, len(rw.msg.Data), rw.msg.id)
 	}
@@ -541,6 +547,7 @@ func (c *Comm) TryRecv(src, tag int) (*Message, bool, error) {
 		return nil, false, c.raise(ErrRevoked)
 	}
 	if m := st.boxes[c.rank].matchBuffered(src, tag); m != nil {
+		c.r.met.recvDone(len(m.Data))
 		if rec := c.r.rec; rec != nil {
 			srcWorld := AnySource
 			if src != AnySource {
@@ -595,6 +602,7 @@ func (c *Comm) Dup() (*Comm, error) {
 	// ranks find it by (parent communicator, per-rank duplication epoch) —
 	// every rank performs the same sequence of Dup calls on a communicator,
 	// so the epochs agree. A barrier provides the synchronization point.
+	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
 		rec.CollBegin("dup")
 		defer rec.CollEnd("dup")

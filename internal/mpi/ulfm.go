@@ -31,6 +31,7 @@ import (
 // be interrupted again.
 func (c *Comm) Revoke() error {
 	st := c.st
+	c.r.met.revokeInc()
 	if st.revoked {
 		c.r.rec.Revoke("re-initiate")
 	} else {
@@ -107,6 +108,7 @@ type shrinkWait struct {
 // and restart its recovery rather than proceed on a half-agreed membership.
 func (c *Comm) Shrink() (*Comm, error) {
 	st := c.st
+	c.r.met.shrinkInc()
 	c.r.rec.ShrinkBegin(len(st.group))
 	if st.shrink == nil || st.shrink.done {
 		st.shrink = &shrinkOp{arrived: make(map[int]bool)}
@@ -202,6 +204,7 @@ type agreeWait struct {
 // processes fail during the operation.
 func (c *Comm) Agree(flag int) (int, error) {
 	st := c.st
+	c.r.met.agreeInc()
 	c.r.rec.AgreeBegin(flag)
 	if st.agree == nil || st.agree.done {
 		st.agree = &agreeOp{arrived: make(map[int]bool), flags: ^0}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"time"
+
+	"ftmrmpi/internal/metrics"
 )
 
 // Storage fault injection. Real FT frameworks break on the storage path, not
@@ -23,11 +26,17 @@ import (
 //     frame CRC) can catch.
 //   - Transient read error: the read fails with ErrReadFault; a retry of
 //     the same path succeeds.
+//   - Latency spike: the operation succeeds but costs SpikeDelay of extra
+//     virtual time (a congested PFS or a local disk stalled mid-GC). Spikes
+//     are pure slowdowns — no error, no data damage — so they exercise the
+//     timing side of the fault model the way checkpoint-drain stalls do.
 //
 // Faults are transient per path: after an operation on a path faults, the
 // next operation on that same path is never faulted. Hardened callers that
 // retry therefore always converge, while callers that never retry still see
-// every failure mode.
+// every failure mode. Latency spikes are exempt from both sides of that
+// rule: they never mark a path sticky and fire even on the post-fault
+// retry — a retried write can be slow and still succeed.
 
 // ErrTornWrite reports a write or append that only partially reached the
 // tier (the stored file holds a prefix of the intended data).
@@ -44,6 +53,12 @@ type FaultRule struct {
 	TornWrite float64 // P(write/append is torn and reported)
 	BitFlip   float64 // P(write/append lands with one silent bit flip)
 	ReadError float64 // P(read fails transiently)
+	// Latency spikes: the operation succeeds but takes SpikeDelay longer.
+	// A zero probability draws nothing from the RNG, so policies without
+	// spikes keep their exact historical fault sequences.
+	ReadSpike  float64       // P(read is delayed by SpikeDelay)
+	WriteSpike float64       // P(write/append is delayed by SpikeDelay)
+	SpikeDelay time.Duration // extra virtual time per spiked operation
 }
 
 // FaultPolicy seeds an Injector: the first rule whose prefix matches the
@@ -55,9 +70,11 @@ type FaultPolicy struct {
 
 // FaultStats counts the faults an Injector has delivered.
 type FaultStats struct {
-	TornWrites int
-	BitFlips   int
-	ReadErrors int
+	TornWrites  int
+	BitFlips    int
+	ReadErrors  int
+	ReadSpikes  int
+	WriteSpikes int
 }
 
 // Injector is a seeded, stateful storage fault source for one tier.
@@ -66,6 +83,28 @@ type Injector struct {
 	rules  []FaultRule
 	sticky map[string]bool // path -> previous op faulted; next op is clean
 	Stats  FaultStats
+
+	// Per-tier registry counters (nil until BindMetrics; nil counters no-op).
+	mTorn, mFlips, mReadErrs, mReadSpikes, mWriteSpikes *metrics.Counter
+}
+
+// BindMetrics registers the injector's fault counters in reg under a "tier"
+// label so per-tier fault totals show up in the metrics plane. Safe to skip
+// (or call with a nil registry) when metrics are disabled.
+func (in *Injector) BindMetrics(reg *metrics.Registry, tier string) {
+	if reg == nil {
+		return
+	}
+	in.mTorn = reg.CounterL("ftmr_storage_torn_writes",
+		"Injected torn writes by storage tier.", "tier", tier)
+	in.mFlips = reg.CounterL("ftmr_storage_bit_flips",
+		"Injected silent bit flips by storage tier.", "tier", tier)
+	in.mReadErrs = reg.CounterL("ftmr_storage_read_errors",
+		"Injected transient read errors by storage tier.", "tier", tier)
+	in.mReadSpikes = reg.CounterL("ftmr_storage_read_spikes",
+		"Injected read latency spikes by storage tier.", "tier", tier)
+	in.mWriteSpikes = reg.CounterL("ftmr_storage_write_spikes",
+		"Injected write latency spikes by storage tier.", "tier", tier)
 }
 
 // NewInjector builds an injector from a policy. Two injectors with the same
@@ -88,9 +127,12 @@ func ChaosPolicy(seed int64) FaultPolicy {
 	return FaultPolicy{
 		Seed: seed,
 		Rules: []FaultRule{
-			{Prefix: "ckpt/", TornWrite: 0.06, BitFlip: 0.04, ReadError: 0.06},
-			{Prefix: "out/", TornWrite: 0.04},
-			{Prefix: "in/", ReadError: 0.03},
+			{Prefix: "ckpt/", TornWrite: 0.06, BitFlip: 0.04, ReadError: 0.06,
+				ReadSpike: 0.03, WriteSpike: 0.03, SpikeDelay: 2 * time.Millisecond},
+			{Prefix: "out/", TornWrite: 0.04,
+				WriteSpike: 0.02, SpikeDelay: 2 * time.Millisecond},
+			{Prefix: "in/", ReadError: 0.03,
+				ReadSpike: 0.02, SpikeDelay: 2 * time.Millisecond},
 		},
 	}
 }
@@ -115,42 +157,68 @@ func (in *Injector) clean(path string) bool {
 	return false
 }
 
+// spike rolls one latency-spike decision. It only touches the RNG when the
+// probability is positive, so spike-free policies keep their historical
+// fault sequences, and it never reads or sets the sticky marker.
+func (in *Injector) spike(r *FaultRule, prob float64, count *int, met *metrics.Counter) time.Duration {
+	if prob <= 0 || r.SpikeDelay <= 0 {
+		return 0
+	}
+	if in.rng.Float64() < prob {
+		*count++
+		met.Inc()
+		return r.SpikeDelay
+	}
+	return 0
+}
+
 // onWrite vets one write/append of data to path. It returns the bytes that
-// actually land (possibly a torn prefix or a bit-flipped copy) and
-// ErrTornWrite when the write is torn. A nil error with mutated bytes is a
-// silent bit flip.
-func (in *Injector) onWrite(path string, data []byte) ([]byte, error) {
+// actually land (possibly a torn prefix or a bit-flipped copy), the extra
+// latency a spike adds, and ErrTornWrite when the write is torn. A nil error
+// with mutated bytes is a silent bit flip.
+func (in *Injector) onWrite(path string, data []byte) ([]byte, time.Duration, error) {
 	r := in.rule(path)
-	if r == nil || in.clean(path) || len(data) == 0 {
-		return data, nil
+	if r == nil {
+		return data, 0, nil
+	}
+	delay := in.spike(r, r.WriteSpike, &in.Stats.WriteSpikes, in.mWriteSpikes)
+	if in.clean(path) || len(data) == 0 {
+		return data, delay, nil
 	}
 	roll := in.rng.Float64()
 	if roll < r.TornWrite {
 		in.sticky[path] = true
 		in.Stats.TornWrites++
-		return data[:in.rng.Intn(len(data))], ErrTornWrite
+		in.mTorn.Inc()
+		return data[:in.rng.Intn(len(data))], delay, ErrTornWrite
 	}
 	if roll < r.TornWrite+r.BitFlip {
 		in.sticky[path] = true
 		in.Stats.BitFlips++
+		in.mFlips.Inc()
 		flipped := append([]byte(nil), data...)
 		flipped[in.rng.Intn(len(flipped))] ^= 1 << uint(in.rng.Intn(8))
-		return flipped, nil
+		return flipped, delay, nil
 	}
-	return data, nil
+	return data, delay, nil
 }
 
-// onRead vets one read of path, returning ErrReadFault when it transiently
-// fails.
-func (in *Injector) onRead(path string) error {
+// onRead vets one read of path, returning the extra latency a spike adds
+// and ErrReadFault when the read transiently fails.
+func (in *Injector) onRead(path string) (time.Duration, error) {
 	r := in.rule(path)
-	if r == nil || in.clean(path) {
-		return nil
+	if r == nil {
+		return 0, nil
+	}
+	delay := in.spike(r, r.ReadSpike, &in.Stats.ReadSpikes, in.mReadSpikes)
+	if in.clean(path) {
+		return delay, nil
 	}
 	if in.rng.Float64() < r.ReadError {
 		in.sticky[path] = true
 		in.Stats.ReadErrors++
-		return ErrReadFault
+		in.mReadErrs.Inc()
+		return delay, ErrReadFault
 	}
-	return nil
+	return delay, nil
 }

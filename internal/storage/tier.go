@@ -59,14 +59,19 @@ func (t *Tier) Charge(p *vtime.Proc, ops int, bytes int) time.Duration {
 
 // WriteFile writes data to path as a single operation, charging latency and
 // bandwidth, and returns the I/O-wait incurred. Under fault injection the
-// stored file may be a torn prefix (reported via ErrTornWrite) or carry a
-// silent bit flip; either way the returned duration was genuinely spent.
+// stored file may be a torn prefix (reported via ErrTornWrite), carry a
+// silent bit flip, or cost a latency spike; either way the returned
+// duration was genuinely spent.
 func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) (time.Duration, error) {
 	var ferr error
+	var spike time.Duration
 	if t.Faults != nil {
-		data, ferr = t.Faults.onWrite(path, data)
+		data, spike, ferr = t.Faults.onWrite(path, data)
+		if spike > 0 {
+			p.Sleep(spike)
+		}
 	}
-	d := t.Charge(p, 1, len(data))
+	d := spike + t.Charge(p, 1, len(data))
 	t.FS.Write(t.path(path), data)
 	return d, ferr
 }
@@ -77,10 +82,14 @@ func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) (time.Duration
 // ErrTornWrite) or carry a silent bit flip.
 func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) (time.Duration, error) {
 	var ferr error
+	var spike time.Duration
 	if t.Faults != nil {
-		data, ferr = t.Faults.onWrite(path, data)
+		data, spike, ferr = t.Faults.onWrite(path, data)
+		if spike > 0 {
+			p.Sleep(spike)
+		}
 	}
-	d := t.Charge(p, ops, len(data))
+	d := spike + t.Charge(p, ops, len(data))
 	t.FS.Append(t.path(path), data)
 	return d, ferr
 }
@@ -89,16 +98,22 @@ func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) (tim
 // Under fault injection it may fail with a transient ErrReadFault; a retry
 // of the same path succeeds (and is charged again).
 func (t *Tier) ReadFile(p *vtime.Proc, path string) ([]byte, time.Duration, error) {
+	var spike time.Duration
 	if t.Faults != nil {
-		if err := t.Faults.onRead(path); err != nil {
-			return nil, t.Charge(p, 1, 0), err
+		delay, err := t.Faults.onRead(path)
+		if delay > 0 {
+			p.Sleep(delay)
+			spike = delay
+		}
+		if err != nil {
+			return nil, spike + t.Charge(p, 1, 0), err
 		}
 	}
 	data, err := t.FS.Read(t.path(path))
 	if err != nil {
-		return nil, t.Charge(p, 1, 0), err
+		return nil, spike + t.Charge(p, 1, 0), err
 	}
-	d := t.Charge(p, 1, len(data))
+	d := spike + t.Charge(p, 1, len(data))
 	return data, d, nil
 }
 

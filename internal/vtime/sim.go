@@ -281,6 +281,23 @@ func (s *Sim) Run() time.Duration {
 	return s.now
 }
 
+// ActiveEvents returns the number of scheduled events that can still fire:
+// pending events that are neither canceled nor bound to a dead process. A
+// self-rescheduling callback (e.g. the metrics sampler's cadence timer)
+// consults it to decide whether re-arming would keep the simulation alive
+// artificially — inside a callback, a result of 0 means nothing else will
+// ever happen, so the callback should not re-arm itself.
+func (s *Sim) ActiveEvents() int {
+	n := 0
+	for _, e := range s.events {
+		if e.canceled || (e.proc != nil && e.proc.dead) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
 // Stranded returns the names of processes that are still parked after Run
 // finished (i.e. they are waiting for something that will never happen).
 // Useful in tests to assert clean shutdown.
