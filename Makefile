@@ -4,11 +4,11 @@ GO ?= go
 # checks, a full build (including every cmd/ binary), the race detector over
 # the internals, the whole test suite, a short fuzz of the checkpoint codecs,
 # the tracer- and metrics-overhead benchmarks that keep the disabled
-# instrumentation paths at one-branch cost, and the ftmr-trace and
-# ftmr-metrics fixture self-tests.
-.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest
+# instrumentation paths at one-branch cost, and the ftmr-trace, ftmr-metrics
+# and critical-path fixture self-tests.
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest bench
 
-check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest
+check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest
 
 vet:
 	$(GO) vet ./...
@@ -61,3 +61,25 @@ metrics-selftest: build-cmds
 	bin/ftmr-metrics diff internal/metrics/testdata/selftest.om internal/metrics/testdata/selftest.om >/dev/null
 	bin/ftmr-metrics health internal/metrics/testdata/selftest.om >/dev/null
 	! bin/ftmr-metrics health -slo-ckpt-overhead 0.01 internal/metrics/testdata/selftest.om >/dev/null
+
+# Critical-path self-test through the real binaries: a deterministic 8-rank
+# wordcount failover run must render byte-identically to the committed
+# golden report, its composition self-diff must be clean, and the committed
+# copier-stall regression fixture pair must be flagged (exit 1). The golden
+# is regenerated with the same two commands below, writing to the committed
+# path instead of /tmp.
+critpath-selftest: build-cmds
+	bin/ftmr-sim -workload wordcount -procs 8 -model wc -kill-phase map \
+		-trace /tmp/ftmr-critpath-selftest.jsonl -trace-format jsonl >/dev/null
+	bin/ftmr-trace critpath /tmp/ftmr-critpath-selftest.jsonl > /tmp/ftmr-critpath-selftest.txt
+	cmp /tmp/ftmr-critpath-selftest.txt internal/trace/critpath/testdata/golden_report.txt
+	bin/ftmr-trace critpath -against /tmp/ftmr-critpath-selftest.jsonl \
+		/tmp/ftmr-critpath-selftest.jsonl >/dev/null
+	! bin/ftmr-trace critpath -against internal/trace/critpath/testdata/base.jsonl \
+		internal/trace/critpath/testdata/regressed.jsonl >/dev/null
+
+# Regenerates the committed evaluation results: the human-readable tables
+# and the machine-readable trajectory document, from one run (so the two
+# always agree). Full scale; FTMR_QUICK=1 trims the sweeps.
+bench: build-cmds
+	bin/ftmr-bench -all -json BENCH_results.json > bench_results.txt

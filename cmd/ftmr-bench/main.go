@@ -5,6 +5,8 @@
 //	ftmr-bench -fig fig5        # one figure
 //	ftmr-bench -all             # every figure, in paper order
 //	ftmr-bench -list            # list figure ids
+//	ftmr-bench -all -json BENCH_results.json
+//	                            # also write the machine-readable document
 //
 // Environment: FTMR_QUICK=1 trims the sweeps for fast runs; FTMR_MAX_PROCS
 // caps the strong-scaling axis.
@@ -25,6 +27,7 @@ func main() {
 	all := flag.Bool("all", false, "run every figure")
 	list := flag.Bool("list", false, "list available figures")
 	quick := flag.Bool("quick", false, "trim sweeps (same as FTMR_QUICK=1)")
+	jsonOut := flag.String("json", "", "also write the tables as a stable-schema JSON document to this file")
 	tracePfx := flag.String("trace", "", "write per-run event traces to <prefix>-NNN files")
 	traceFmt := flag.String("trace-format", "chrome", "trace format: jsonl | chrome")
 	lbModel := flag.String("lb-model", "static", "load-balancer regression model: static | trace")
@@ -52,6 +55,7 @@ func main() {
 		}
 	}
 
+	var tables []*bench.Table
 	switch {
 	case *list:
 		for _, f := range bench.Figures() {
@@ -60,7 +64,9 @@ func main() {
 	case *all:
 		for _, f := range bench.Figures() {
 			start := time.Now()
-			f.Run(scale).Fprint(os.Stdout)
+			t := f.Run(scale)
+			t.Fprint(os.Stdout)
+			tables = append(tables, t)
 			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", f.ID, time.Since(start).Round(time.Millisecond))
 		}
 	case *fig != "":
@@ -69,10 +75,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Run(scale).Fprint(os.Stdout)
+		t := f.Run(scale)
+		t.Fprint(os.Stdout)
+		tables = append(tables, t)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, tables); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "json results written to %s\n", *jsonOut)
 	}
 
 	if *tracePfx != "" {

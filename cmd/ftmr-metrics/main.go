@@ -237,6 +237,7 @@ func cmdHealth(args []string) int {
 	copier := fs.Float64("slo-copier-share", def.MaxCopierShare, "max copier CPU share")
 	quar := fs.Float64("slo-quarantines", def.MaxQuarantines, "max checkpoint quarantines")
 	missing := fs.Float64("slo-missing-ranks", def.MaxMissingRanks, "max missing ranks")
+	critRec := fs.Float64("slo-critpath-recovery", def.MaxRecoveryPathShare, "max recovery share of the critical path (0..1)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -247,12 +248,13 @@ func cmdHealth(args []string) int {
 		return 2
 	}
 	h := metrics.Evaluate(snap, metrics.SLO{
-		MaxCkptOverhead:    *ckpt,
-		MaxRecoverySeconds: *rec,
-		MaxShuffleSkew:     *skew,
-		MaxCopierShare:     *copier,
-		MaxQuarantines:     *quar,
-		MaxMissingRanks:    *missing,
+		MaxCkptOverhead:      *ckpt,
+		MaxRecoverySeconds:   *rec,
+		MaxShuffleSkew:       *skew,
+		MaxCopierShare:       *copier,
+		MaxQuarantines:       *quar,
+		MaxMissingRanks:      *missing,
+		MaxRecoveryPathShare: *critRec,
 	})
 	h.Render(os.Stdout)
 	if h.Breached() {

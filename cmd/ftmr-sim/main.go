@@ -21,6 +21,7 @@ import (
 	"ftmrmpi/internal/failure"
 	"ftmrmpi/internal/metrics"
 	"ftmrmpi/internal/trace"
+	"ftmrmpi/internal/trace/critpath"
 	"ftmrmpi/internal/workloads"
 )
 
@@ -63,6 +64,7 @@ func main() {
 		chaosWin  = flag.Duration("chaos-window", 2*time.Second, "virtual-time window for chaos kills")
 		stFaults  = flag.Bool("storage-faults", false, "inject seeded storage faults (torn writes, bit flips, read errors, latency spikes)")
 		streamTo  = flag.String("trace-stream", "", "stream JSONL events (write-through) to this file during the run")
+		critOut   = flag.String("critpath-out", "", "write the critical-path report to this file (enables tracing)")
 
 		metricsOut      = flag.String("metrics-out", "", "write the final metrics snapshot (OpenMetrics text) to this file")
 		metricsInterval = flag.Duration("metrics-interval", 0, "also sample metrics on this virtual-time cadence (0: final snapshot only)")
@@ -70,12 +72,13 @@ func main() {
 	)
 	def := metrics.DefaultSLO()
 	var (
-		sloCkpt    = flag.Float64("slo-ckpt-overhead", def.MaxCkptOverhead, "max checkpoint overhead fraction (negative: report-only)")
-		sloRec     = flag.Float64("slo-recovery", def.MaxRecoverySeconds, "max worst-rank recovery seconds (negative: report-only)")
-		sloSkew    = flag.Float64("slo-shuffle-skew", def.MaxShuffleSkew, "max shuffle-byte skew, max/mean (negative: report-only)")
-		sloCopier  = flag.Float64("slo-copier-share", def.MaxCopierShare, "max copier CPU share (negative: report-only)")
-		sloQuar    = flag.Float64("slo-quarantines", def.MaxQuarantines, "max checkpoint quarantines (negative: report-only)")
-		sloMissing = flag.Float64("slo-missing-ranks", def.MaxMissingRanks, "max missing ranks (negative: report-only)")
+		sloCkpt     = flag.Float64("slo-ckpt-overhead", def.MaxCkptOverhead, "max checkpoint overhead fraction (negative: report-only)")
+		sloRec      = flag.Float64("slo-recovery", def.MaxRecoverySeconds, "max worst-rank recovery seconds (negative: report-only)")
+		sloSkew     = flag.Float64("slo-shuffle-skew", def.MaxShuffleSkew, "max shuffle-byte skew, max/mean (negative: report-only)")
+		sloCopier   = flag.Float64("slo-copier-share", def.MaxCopierShare, "max copier CPU share (negative: report-only)")
+		sloQuar     = flag.Float64("slo-quarantines", def.MaxQuarantines, "max checkpoint quarantines (negative: report-only)")
+		sloMissing  = flag.Float64("slo-missing-ranks", def.MaxMissingRanks, "max missing ranks (negative: report-only)")
+		sloCritPath = flag.Float64("slo-critpath-recovery", def.MaxRecoveryPathShare, "max recovery share of the critical path, 0..1 (negative: report-only)")
 	)
 	flag.Parse()
 
@@ -103,7 +106,7 @@ func main() {
 		}
 		return cluster.New(cfg)
 	}()
-	if *tracePath != "" || *streamTo != "" {
+	if *tracePath != "" || *streamTo != "" || *critOut != "" {
 		clus.Trace = trace.New(clus.Sim, *traceCap)
 	}
 	// The registry must exist before Launch: instruments bind per rank at
@@ -258,8 +261,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace written to %s (%s)\n", *tracePath, *traceFmt)
 	}
 
+	var critRep *critpath.Report
+	if *critOut != "" {
+		events := append(clus.Trace.Events(), clus.Trace.DropEvents()...)
+		rep, err := critpath.Analyze(events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "critpath: %v\n", err)
+			os.Exit(2)
+		}
+		critRep = rep
+		if rep.Unreliable {
+			fmt.Fprintf(os.Stderr, "critpath: warning: %d events overwritten by ring buffers; report is UNRELIABLE (raise -trace-cap)\n", rep.Dropped)
+		}
+		f, err := os.Create(*critOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "critpath: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Render(f, 10)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "critpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "critical-path report written to %s\n", *critOut)
+	}
+
 	if clus.Metrics != nil {
 		core.ExportResultMetrics(clus.Metrics, allResults)
+		// Ring-overwrite accounting: any dropped event invalidates
+		// trace-derived analyses, so it rides along in the health plane.
+		if clus.Trace != nil {
+			for _, r := range clus.Trace.Ranks() {
+				if d := clus.Trace.Dropped(r); d > 0 {
+					clus.Metrics.Counter(metrics.MTraceDropped,
+						"trace events overwritten by a rank's ring buffer", r).Add(float64(d))
+				}
+			}
+		}
+		critpath.Export(clus.Metrics, critRep)
 		var final metrics.Snapshot
 		if sampler != nil {
 			snaps := sampler.Final()
@@ -282,12 +321,13 @@ func main() {
 		}
 		if *health {
 			hl := metrics.Evaluate(final, metrics.SLO{
-				MaxCkptOverhead:    *sloCkpt,
-				MaxRecoverySeconds: *sloRec,
-				MaxShuffleSkew:     *sloSkew,
-				MaxCopierShare:     *sloCopier,
-				MaxQuarantines:     *sloQuar,
-				MaxMissingRanks:    *sloMissing,
+				MaxCkptOverhead:      *sloCkpt,
+				MaxRecoverySeconds:   *sloRec,
+				MaxShuffleSkew:       *sloSkew,
+				MaxCopierShare:       *sloCopier,
+				MaxQuarantines:       *sloQuar,
+				MaxMissingRanks:      *sloMissing,
+				MaxRecoveryPathShare: *sloCritPath,
 			})
 			hl.Render(os.Stdout)
 			if hl.Breached() {

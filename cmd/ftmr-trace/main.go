@@ -1,5 +1,5 @@
 // Command ftmr-trace analyzes JSONL traces written by ftmr-sim -trace
-// (wire format: DESIGN.md §"Trace wire format v2"). Three subcommands:
+// (wire format: DESIGN.md §"Trace wire format v2"). Four subcommands:
 //
 //	ftmr-trace diff [-tol d] [-max n] A.jsonl B.jsonl
 //	    Align two traces of the same workload by (rank, kind, occurrence)
@@ -13,8 +13,13 @@
 //	ftmr-trace flows T.jsonl
 //	    Validate send→recv message pairing via flow ids.
 //
-// Exit status: 0 clean, 1 divergence or flow violations found, 2 usage or
-// I/O error. Damaged traces (malformed lines) are reported on stderr but
+//	ftmr-trace critpath [-top n] [-threshold f] [-against B.jsonl] T.jsonl
+//	    Reconstruct the causal DAG and attribute the virtual-time critical
+//	    path (DESIGN.md §"Critical path"); with -against, diff two runs'
+//	    path composition and flag regressed categories.
+//
+// Exit status: 0 clean, 1 divergence/violations/regression found, 2 usage
+// or I/O error. Damaged traces (malformed lines) are reported on stderr but
 // analysis proceeds on the lines that decoded.
 package main
 
@@ -25,6 +30,7 @@ import (
 	"sort"
 
 	"ftmrmpi/internal/trace"
+	"ftmrmpi/internal/trace/critpath"
 )
 
 func usage() {
@@ -37,8 +43,11 @@ commands:
         per-rank aggregates derived from the event stream
   flows T.jsonl
         validate send->recv message pairing via flow ids
+  critpath [-top n] [-threshold f] [-against B.jsonl] T.jsonl
+        attribute the virtual-time critical path; with -against, diff two
+        runs' path composition and flag regressed categories
 
-exit status: 0 clean, 1 divergence/violations, 2 usage or I/O error
+exit status: 0 clean, 1 divergence/violations/regression, 2 usage or I/O error
 `)
 	os.Exit(2)
 }
@@ -54,10 +63,59 @@ func main() {
 		os.Exit(cmdSummarize(os.Args[2:]))
 	case "flows":
 		os.Exit(cmdFlows(os.Args[2:]))
+	case "critpath":
+		os.Exit(cmdCritPath(os.Args[2:]))
 	default:
 		fmt.Fprintf(os.Stderr, "ftmr-trace: unknown command %q\n", os.Args[1])
 		usage()
 	}
+}
+
+// analyze loads one trace and walks its critical path, mapping both load
+// and analysis failures to diagnostics on stderr.
+func analyze(path string) (*critpath.Report, error) {
+	events, err := load(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := critpath.Analyze(events)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Unreliable {
+		fmt.Fprintf(os.Stderr, "ftmr-trace: warning: %s: %d events overwritten by ring buffers; critical path is UNRELIABLE\n",
+			path, rep.Dropped)
+	}
+	return rep, nil
+}
+
+func cmdCritPath(args []string) int {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	top := fs.Int("top", 10, "longest segments to print (0 = none)")
+	threshold := fs.Float64("threshold", 0.05, "share-of-makespan growth that counts as a regression (-against)")
+	against := fs.String("against", "", "baseline trace: diff path composition of T.jsonl (B) against this run (A)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	rep, err := analyze(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftmr-trace:", err)
+		return 2
+	}
+	if *against == "" {
+		rep.Render(os.Stdout, *top)
+		return 0
+	}
+	base, err := analyze(*against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftmr-trace:", err)
+		return 2
+	}
+	if critpath.RenderCompare(os.Stdout, base, rep, *threshold) {
+		return 1
+	}
+	return 0
 }
 
 // load reads one trace, reporting (not failing on) counted line damage.
@@ -155,6 +213,10 @@ func cmdSummarize(args []string) int {
 	}
 
 	s := trace.Summarize(events)
+	if d := s.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "ftmr-trace: warning: %s: %d events overwritten by ring buffers; every aggregate below is a lower bound (UNRELIABLE)\n",
+			fs.Arg(0), d)
+	}
 	ranks := make([]int, 0, len(s.Ranks))
 	for r := range s.Ranks {
 		ranks = append(ranks, r)
@@ -198,6 +260,9 @@ func cmdSummarize(args []string) int {
 		}
 		if rs.LBFits > 0 {
 			fmt.Printf("  lb model fits: %d\n", rs.LBFits)
+		}
+		if rs.DroppedEvents > 0 {
+			fmt.Printf("  !! %d events overwritten by this rank's ring buffer\n", rs.DroppedEvents)
 		}
 	}
 

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONSchema is the version stamped into every machine-readable results
+// document. Bump only on an incompatible change to the document shape;
+// adding figures or rows is not a schema change.
+const JSONSchema = 1
+
+// jsonFigure is the wire form of one Table. Field order is the document's
+// key order; all slices marshal as arrays (never null) so consumers can
+// index without nil checks.
+type jsonFigure struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+}
+
+// jsonDoc is the top-level results document.
+type jsonDoc struct {
+	Schema  int          `json:"schema"`
+	Figures []jsonFigure `json:"figures"`
+}
+
+// WriteJSON renders the tables as the stable machine-readable results
+// document ({"schema":1,"figures":[...]}), indented, figures in the order
+// given (paper order when produced by -all). The output is byte-identical
+// for identical tables, so same-seed runs can be diffed as files.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	doc := jsonDoc{Schema: JSONSchema, Figures: make([]jsonFigure, 0, len(tables))}
+	for _, t := range tables {
+		f := jsonFigure{
+			ID:      t.ID,
+			Title:   t.Title,
+			Columns: append([]string{}, t.Columns...),
+			Rows:    make([][]string, 0, len(t.Rows)),
+			Notes:   append([]string{}, t.Notes...),
+		}
+		for _, row := range t.Rows {
+			f.Rows = append(f.Rows, append([]string{}, row...))
+		}
+		doc.Figures = append(doc.Figures, f)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

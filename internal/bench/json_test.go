@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteJSONSchema pins the machine-readable document contract: schema
+// stamp, figure field names, arrays never null, and byte-determinism for
+// identical inputs (BENCH_results.json must be diffable as a file).
+func TestWriteJSONSchema(t *testing.T) {
+	tab := &Table{
+		ID:      "fig9",
+		Title:   "demo",
+		Columns: []string{"procs", "secs"},
+		Notes:   []string{"n1"},
+	}
+	tab.AddRow("64", "1.5")
+	empty := &Table{ID: "fig0", Title: "no rows"}
+
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, []*Table{tab, empty}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, []*Table{tab, empty}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical inputs produced different bytes")
+	}
+
+	var doc struct {
+		Schema  int `json:"schema"`
+		Figures []struct {
+			ID      string     `json:"id"`
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+			Notes   []string   `json:"notes"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Schema != JSONSchema {
+		t.Fatalf("schema = %d, want %d", doc.Schema, JSONSchema)
+	}
+	if len(doc.Figures) != 2 || doc.Figures[0].ID != "fig9" || doc.Figures[1].ID != "fig0" {
+		t.Fatalf("figures out of order or missing: %+v", doc.Figures)
+	}
+	if got := doc.Figures[0].Rows; len(got) != 1 || got[0][1] != "1.5" {
+		t.Fatalf("rows = %v", got)
+	}
+	// Empty slices must marshal as [], not null.
+	if bytes.Contains(a.Bytes(), []byte("null")) {
+		t.Fatalf("document contains null arrays:\n%s", a.String())
+	}
+}

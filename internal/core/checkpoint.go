@@ -320,6 +320,7 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 		d := appendRepair(p, w.local, path, data, frames)
 		w.m.IOWait += d
 		w.cm.ckptWrite(d)
+		w.rec.CkptStall("write", d)
 		w.cp.enqueue(stream)
 		return
 	}
@@ -328,6 +329,7 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 	d := appendRepair(p, w.pfs, path, data, frames)
 	w.m.IOWait += d
 	w.cm.ckptWrite(d)
+	w.rec.CkptStall("write", d)
 }
 
 // appendRepair appends data to path on t, rolling back and retrying torn
@@ -358,6 +360,7 @@ func (w *ckptWriter) phaseSync(p *vtime.Proc) {
 		d := p.Now() - t0
 		w.m.IOWait += d
 		w.cm.ckptDrain(d)
+		w.rec.CkptStall("drain", d)
 		if w.agent != nil {
 			w.agent.noteStall(d)
 		}
@@ -389,6 +392,11 @@ func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 	if !r.pfs.Exists(path) {
 		return nil
 	}
+	// Whatever this call adds to the load-checkpoint bucket — staging reads,
+	// retries, per-frame replay charges — is attributed as one stage event,
+	// keeping event sums equal to the hand-kept counter.
+	pre := r.m.Recovery.LoadCkpt
+	defer func() { r.rec.RecoveryStage("load", r.m.Recovery.LoadCkpt-pre) }()
 	var raw []byte
 	if r.prefetch && r.local != nil {
 		if !r.staged[stream] {

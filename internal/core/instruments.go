@@ -159,9 +159,9 @@ func (c *coreMets) userAdd(name string, delta int64) {
 type rankMirror struct {
 	m    *RankMetrics
 	last struct {
-		cpuMain, cpuCopier, ioWait, copierIO, netWait         time.Duration
-		recInit, recLoad, recSkip, recReprocess, recPhase     time.Duration
-		mapped, skipped, restored, groups                     int64
+		cpuMain, cpuCopier, ioWait, copierIO, netWait            time.Duration
+		recInit, recLoad, recSkip, recReprocess, recPhase        time.Duration
+		mapped, skipped, restored, groups                        int64
 		ckptFrames, ckptBytes, shuffleBytes, recFrames, recBytes int64
 	}
 }

@@ -127,11 +127,17 @@ func (a *App) RunJob(spec Spec) (*Result, error) {
 	if spec.Resume && pfs.Exists(doneMarker(spec.JobID)) {
 		pfs.Charge(a.comm.Proc(), 1, 0)
 		res.End = maxDur(res.End, a.h.Clus.Sim.Now())
+		// Still anchor the (trivial) job on this rank's timeline so the
+		// critical-path walk sees every job bracketed.
+		rec := a.comm.Self().Recorder()
+		rec.JobBegin(spec.JobID)
+		rec.JobEnd(spec.JobID, false)
 		return res, nil
 	}
 
 	j := &jobCtx{clus: a.h.Clus, spec: spec, res: res, h: a.h, jobIdx: a.jobIdx - 1}
 	r := newRunner(j, a.comm)
+	r.rec.JobBegin(spec.JobID)
 	res.Ranks[r.myWorld()] = r.m
 	defer r.shutdown()
 
@@ -146,6 +152,7 @@ func (a *App) RunJob(spec Spec) (*Result, error) {
 			}
 			if !recoverable(err) {
 				res.Aborted = true
+				r.rec.JobEnd(spec.JobID, true)
 				return res, err
 			}
 			// Bounded retries: each pass masks one more failure that landed
@@ -176,9 +183,11 @@ func (a *App) RunJob(spec Spec) (*Result, error) {
 					continue drLoop
 				case !recoverable(rerr):
 					res.Aborted = true
+					r.rec.JobEnd(spec.JobID, true)
 					return res, rerr
 				case attempts+1 >= maxRecoveryAttempts:
 					res.Aborted = true
+					r.rec.JobEnd(spec.JobID, true)
 					return res, fmt.Errorf("core: recovery did not converge after %d attempts: %w", attempts+1, rerr)
 				}
 			}
@@ -212,12 +221,16 @@ func (a *App) RunJob(spec Spec) (*Result, error) {
 		if err := r.run(); err != nil {
 			res.Aborted = true
 			mark()
+			r.rec.JobEnd(spec.JobID, true)
 			return res, err
 		}
 	}
 
 	r.finishOutputs()
 	res.End = maxDur(res.End, a.h.Clus.Sim.Now())
+	// The final-commit anchor: emitted after the DONE marker is durable, so
+	// the latest job.end across ranks is the critical-path sink.
+	r.rec.JobEnd(spec.JobID, false)
 	return res, nil
 }
 

@@ -352,7 +352,9 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 			t1 := r.p.Now()
 			r.compute(float64(restoreBytes) * restoreCPUPerByte)
 			r.m.RecordsRestored += int64(restoredRecs)
-			r.m.Recovery.LoadCkpt += r.p.Now() - t1
+			d := r.p.Now() - t1
+			r.m.Recovery.LoadCkpt += d
+			r.rec.RecoveryStage("load", d)
 		}
 		if taskComplete {
 			// Static keeps the paper's behaviour of sampling every completed
@@ -407,13 +409,17 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 		if skipAcc > 0 {
 			t1 := r.p.Now()
 			r.compute(skipAcc)
-			r.m.Recovery.Skip += r.p.Now() - t1
+			d := r.p.Now() - t1
+			r.m.Recovery.Skip += d
+			r.rec.RecoveryStage("skip", d)
 			skipAcc = 0
 		}
 		t1 := r.p.Now()
 		r.compute(cpuAcc)
 		if recoveryTask {
-			r.m.Recovery.Reprocess += r.p.Now() - t1
+			d := r.p.Now() - t1
+			r.m.Recovery.Reprocess += d
+			r.rec.RecoveryStage("reprocess", d)
 		}
 		cpuAcc = 0
 		nInBatch = 0
@@ -917,6 +923,7 @@ func (r *runner) recoverDR(retry bool) (err error) {
 			d := r.p.Now() - t0
 			r.m.Recovery.Init += d
 			r.m.PhaseTime[PhaseRecovery] += d
+			r.rec.RecoveryStage("init", d)
 			r.rec.RecoveryEnd()
 		}
 	}()
@@ -1112,6 +1119,7 @@ func (r *runner) recoverDR(retry bool) (err error) {
 	d := r.p.Now() - t0
 	r.m.Recovery.Init += d
 	r.m.PhaseTime[PhaseRecovery] += d
+	r.rec.RecoveryStage("init", d)
 	r.rec.RecoveryEnd()
 	return nil
 }
@@ -1267,7 +1275,9 @@ func (r *runner) restorePartition(part int) error {
 		r.parts[part] = kv
 		t1 := r.p.Now()
 		r.compute(float64(kv.Size()) * restoreCPUPerByte)
-		r.m.Recovery.LoadCkpt += r.p.Now() - t1
+		d := r.p.Now() - t1
+		r.m.Recovery.LoadCkpt += d
+		r.rec.RecoveryStage("load", d)
 	}
 	if m != nil {
 		r.kmv[part] = m

@@ -52,6 +52,26 @@ const (
 	MFailedRanks = "ftmr_failed_ranks"
 	// MJobsAborted counts jobs that ended aborted.
 	MJobsAborted = "ftmr_jobs_aborted"
+	// MTraceDropped counts trace events overwritten by a rank's ring buffer
+	// (non-zero means every trace-derived analysis of the run is suspect).
+	MTraceDropped = "ftmr_trace_events_dropped"
+	// MCritPathShare is each category's share of the critical path
+	// (fraction of makespan, labeled kind=<category>), exported by
+	// internal/trace/critpath.
+	MCritPathShare = "ftmr_critpath_share"
+	// MCritPathMakespan is the critical-path makespan in virtual seconds.
+	MCritPathMakespan = "ftmr_critpath_makespan_seconds"
+	// MCritPathUnreliable is 1 when the analyzed trace lost events.
+	MCritPathUnreliable = "ftmr_critpath_unreliable"
+)
+
+// Critical-path category label values the health engine reads from
+// MCritPathShare (must match critpath.Category names).
+const (
+	critPathRecoveryInit      = "recovery-init"
+	critPathRecoveryLoad      = "recovery-load"
+	critPathRecoverySkip      = "recovery-skip"
+	critPathRecoveryReprocess = "recovery-reprocess"
 )
 
 // SLO configures the health gate bounds. The zero value disables every
@@ -78,6 +98,11 @@ type SLO struct {
 	MaxQuarantines float64
 	// MaxMissingRanks bounds the missing-rank count.
 	MaxMissingRanks float64
+	// MaxRecoveryPathShare bounds the summed share of the four recovery
+	// categories on the critical path (0..1, from the critpath analyzer's
+	// ftmr_critpath_share gauges). Runs without critpath data evaluate to 0
+	// and always pass.
+	MaxRecoveryPathShare float64
 }
 
 // DefaultSLO returns the default gate: checkpoint overhead <= 7% (the
@@ -87,12 +112,13 @@ type SLO struct {
 // without failing the gate.
 func DefaultSLO() SLO {
 	return SLO{
-		MaxCkptOverhead:    0.07,
-		MaxRecoverySeconds: 60,
-		MaxShuffleSkew:     4,
-		MaxCopierShare:     0.5,
-		MaxQuarantines:     -1,
-		MaxMissingRanks:    -1,
+		MaxCkptOverhead:      0.07,
+		MaxRecoverySeconds:   60,
+		MaxShuffleSkew:       4,
+		MaxCopierShare:       0.5,
+		MaxQuarantines:       -1,
+		MaxMissingRanks:      -1,
+		MaxRecoveryPathShare: 0.9,
 	}
 }
 
@@ -185,6 +211,16 @@ func Evaluate(snap Snapshot, slo SLO) Health {
 	missing := snap.Total(MMissingRanks)
 	quarantines := snap.Total(MCkptQuarantines)
 
+	series := func(name, label string) float64 {
+		v, _ := snap.Series(name, label)
+		return v
+	}
+	recPath := series(MCritPathShare, critPathRecoveryInit) +
+		series(MCritPathShare, critPathRecoveryLoad) +
+		series(MCritPathShare, critPathRecoverySkip) +
+		series(MCritPathShare, critPathRecoveryReprocess)
+	tracesDropped := snap.Total(MTraceDropped)
+
 	h := Health{Indicators: []Indicator{
 		indicator("ckpt_overhead_fraction", overhead, slo.MaxCkptOverhead,
 			fmt.Sprintf("ckpt %.3fs of %.3fs busy (write+drain+copier CPU; %.3fs copier I/O overlapped)",
@@ -200,8 +236,13 @@ func Evaluate(snap Snapshot, slo SLO) Health {
 			"world slots with no surviving per-rank metrics"),
 		indicator("ckpt_quarantines", quarantines, slo.MaxQuarantines,
 			"checkpoint streams truncated by the CRC reader"),
+		indicator("recovery_critpath_share", recPath, slo.MaxRecoveryPathShare,
+			fmt.Sprintf("recovery categories on the critical path (makespan %.3fs; unreliable=%g, %g trace events dropped)",
+				series(MCritPathMakespan, "makespan"),
+				series(MCritPathUnreliable, "unreliable"), tracesDropped)),
 	}}
-	h.Degraded = missing > 0 || quarantines > 0 || snap.Total(MFailedRanks) > 0
+	h.Degraded = missing > 0 || quarantines > 0 || snap.Total(MFailedRanks) > 0 ||
+		tracesDropped > 0 || series(MCritPathUnreliable, "unreliable") > 0
 	return h
 }
 

@@ -48,8 +48,8 @@ func TestTaskSecondsBuckets(t *testing.T) {
 // TestLogLinearBucketsPanics pins the argument contract.
 func TestLogLinearBucketsPanics(t *testing.T) {
 	for _, tc := range []struct {
-		name             string
-		min, max, per    int
+		name          string
+		min, max, per int
 	}{
 		{"equal exps", 2, 2, 5},
 		{"inverted exps", 3, 1, 5},
@@ -76,7 +76,7 @@ func TestBucketIndex(t *testing.T) {
 		want int
 	}{
 		{0.5, 0},
-		{1, 0},    // exactly on a bound: le includes it
+		{1, 0}, // exactly on a bound: le includes it
 		{1.001, 1},
 		{10, 1},
 		{99.9, 2},

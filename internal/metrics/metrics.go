@@ -216,6 +216,16 @@ func (r *Registry) Gauge(name, help string, rank int) *Gauge {
 	return &Gauge{s: f.getSeries(RankLabel(rank))}
 }
 
+// GaugeL returns the gauge series for (name, labelKey=labelVal). All series
+// of one family share the same label key.
+func (r *Registry) GaugeL(name, help, labelKey, labelVal string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindGauge, labelKey, nil)
+	return &Gauge{s: f.getSeries(labelVal)}
+}
+
 // Histogram returns the histogram series for (name, rank) with the given
 // upper bucket bounds (ascending; a +Inf bucket is implicit). All series of
 // one family share the bounds of the first registration. Negative rank

@@ -26,6 +26,14 @@ func (c *Comm) nextSeq() int {
 	return s
 }
 
+// peekSeq returns the sequence number the next collective on this
+// communicator will consume, without consuming it. Trace spans are stamped
+// with (communicator id, peeked seq): every participant of one collective
+// instance consumes the same seq — the tag scheme depends on it — so the
+// pair identifies the instance exactly, including for wrapper collectives
+// (Allreduce, Dup, ...) whose synchronization happens in an inner call.
+func (c *Comm) peekSeq() int { return c.st.opSeq[c.rank] }
+
 // treeParent returns the parent of rank vr (root-relative virtual rank) in a
 // binomial tree, or -1 for the root.
 func treeParent(vr int) int {
@@ -64,8 +72,9 @@ func prank(vr, root, n int) int { return (vr + root) % n }
 func (c *Comm) Barrier() error {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("barrier")
-		defer rec.CollEnd("barrier")
+		seq := c.peekSeq()
+		rec.CollBeginN("barrier", c.st.id, seq)
+		defer rec.CollEndN("barrier", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	if err := c.gatherTree(seq, 0, nil, nil); err != nil {
@@ -82,8 +91,9 @@ func (c *Comm) Barrier() error {
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("bcast")
-		defer rec.CollEnd("bcast")
+		seq := c.peekSeq()
+		rec.CollBeginN("bcast", c.st.id, seq)
+		defer rec.CollEndN("bcast", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	out, err := c.bcastTree(seq, root, data)
@@ -114,8 +124,9 @@ func (c *Comm) bcastTree(seq, root int, data []byte) ([]byte, error) {
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("gather")
-		defer rec.CollEnd("gather")
+		seq := c.peekSeq()
+		rec.CollBeginN("gather", c.st.id, seq)
+		defer rec.CollEndN("gather", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	var out [][]byte
@@ -163,8 +174,9 @@ func (c *Comm) gatherTree(seq, root int, data []byte, out [][]byte) error {
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("allgather")
-		defer rec.CollEnd("allgather")
+		seq := c.peekSeq()
+		rec.CollBeginN("allgather", c.st.id, seq)
+		defer rec.CollEndN("allgather", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	n := c.Size()
@@ -211,8 +223,9 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) (int64, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("allreduce")
-		defer rec.CollEnd("allreduce")
+		seq := c.peekSeq()
+		rec.CollBeginN("allreduce", c.st.id, seq)
+		defer rec.CollEndN("allreduce", c.st.id, seq)
 	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
@@ -250,8 +263,9 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 	}
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("alltoallv")
-		defer rec.CollEnd("alltoallv")
+		seq := c.peekSeq()
+		rec.CollBeginN("alltoallv", c.st.id, seq)
+		defer rec.CollEndN("alltoallv", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	out := make([][]byte, n)

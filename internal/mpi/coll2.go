@@ -13,8 +13,9 @@ import (
 func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("reduce")
-		defer rec.CollEnd("reduce")
+		seq := c.peekSeq()
+		rec.CollBeginN("reduce", c.st.id, seq)
+		defer rec.CollEndN("reduce", c.st.id, seq)
 	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(v))
@@ -41,8 +42,9 @@ func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64,
 func (c *Comm) Scatter(root int, data [][]byte) ([]byte, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("scatter")
-		defer rec.CollEnd("scatter")
+		seq := c.peekSeq()
+		rec.CollBeginN("scatter", c.st.id, seq)
+		defer rec.CollEndN("scatter", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	out, err := c.scatterTree(seq, root, data)
@@ -103,8 +105,9 @@ func subtreeRanks(vr, n int) []int {
 func (c *Comm) ScanInt64(v int64, op func(a, b int64) int64) (int64, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("scan")
-		defer rec.CollEnd("scan")
+		seq := c.peekSeq()
+		rec.CollBeginN("scan", c.st.id, seq)
+		defer rec.CollEndN("scan", c.st.id, seq)
 	}
 	seq := c.nextSeq()
 	acc := v
@@ -179,8 +182,9 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("split")
-		defer rec.CollEnd("split")
+		seq := c.peekSeq()
+		rec.CollBeginN("split", c.st.id, seq)
+		defer rec.CollEndN("split", c.st.id, seq)
 	}
 	var buf [16]byte
 	binary.BigEndian.PutUint64(buf[:8], uint64(int64(color)))

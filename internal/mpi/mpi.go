@@ -604,8 +604,9 @@ func (c *Comm) Dup() (*Comm, error) {
 	// so the epochs agree. A barrier provides the synchronization point.
 	c.r.met.collInc()
 	if rec := c.r.rec; rec != nil {
-		rec.CollBegin("dup")
-		defer rec.CollEnd("dup")
+		seq := c.peekSeq()
+		rec.CollBeginN("dup", c.st.id, seq)
+		defer rec.CollEndN("dup", c.st.id, seq)
 	}
 	if err := c.Barrier(); err != nil {
 		return nil, err

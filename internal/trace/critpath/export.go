@@ -1,0 +1,31 @@
+package critpath
+
+import "ftmrmpi/internal/metrics"
+
+// Metrics-plane surface: the share table as gauges, so metrics.Evaluate can
+// gate on "recovery on the critical path <= X%" next to the Fig 3/9 SLOs
+// and the OpenMetrics trajectory records path composition per run.
+
+// Export publishes the report into reg: one ftmr_critpath_share{kind=...}
+// gauge per category (fraction of makespan, 0..1), the makespan itself, and
+// the reliability flag. Nil-safe on a nil registry.
+func Export(reg *metrics.Registry, rep *Report) {
+	if reg == nil || rep == nil {
+		return
+	}
+	for _, c := range Categories() {
+		reg.GaugeL(metrics.MCritPathShare,
+			"share of the critical path attributed to each category (fraction of makespan)",
+			"kind", c.String()).Set(rep.Share(c))
+	}
+	reg.GaugeL(metrics.MCritPathMakespan,
+		"virtual-time critical-path makespan (job start to final commit)",
+		"kind", "makespan").Set(rep.Makespan.Seconds())
+	unreliable := 0.0
+	if rep.Unreliable {
+		unreliable = 1
+	}
+	reg.GaugeL(metrics.MCritPathUnreliable,
+		"1 when the analyzed trace lost events to ring overwrites (report unreliable)",
+		"kind", "unreliable").Set(unreliable)
+}

@@ -54,7 +54,9 @@ func toJSONL(ev Event) jsonlEvent {
 }
 
 // WriteJSONL writes the schema header followed by every retained event as
-// one JSON object per line, in causal order.
+// one JSON object per line, in causal order. When a rank's ring overwrote
+// events, a synthetic trace.drops marker per damaged rank is appended so
+// file consumers can tell a truncated DAG from a complete one.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -66,7 +68,34 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 			return err
 		}
 	}
+	for _, ev := range t.DropEvents() {
+		if err := enc.Encode(toJSONL(ev)); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// DropEvents synthesizes one trace.drops marker (A = overwritten event
+// count) per rank whose ring dropped events, sequenced after every recorded
+// event. The tracer itself is not mutated; live consumers should keep using
+// Dropped(), these markers exist for the serialized forms.
+func (t *Tracer) DropEvents() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	seq := t.seq
+	for _, rank := range t.Ranks() {
+		if d := t.Dropped(rank); d > 0 {
+			seq++
+			out = append(out, Event{
+				Seq: seq, VT: t.sim.Now(), Rank: rank,
+				Kind: KindDrops, A: int64(d),
+			})
+		}
+	}
+	return out
 }
 
 // streamSink is a write-through JSONL sink: every event is encoded as it is
@@ -308,6 +337,20 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			e := span(ev, "e", "recovery", "recovery", nil)
 			e.ID = id
 			out = append(out, e)
+		case KindJobBegin:
+			out = append(out, instant(ev, "runner", "job.begin:"+ev.Name, nil))
+		case KindJobEnd:
+			out = append(out, instant(ev, "runner", "job.end:"+ev.Name,
+				map[string]any{"aborted": ev.A}))
+		case KindRecoveryStage:
+			out = append(out, instant(ev, "recovery", "stage:"+ev.Name,
+				map[string]any{"ns": ev.A}))
+		case KindCkptStall:
+			out = append(out, instant(ev, "ckpt", "stall:"+ev.Name,
+				map[string]any{"ns": ev.A}))
+		case KindDrops:
+			out = append(out, instant(ev, "trace", "drops",
+				map[string]any{"events": ev.A}))
 		}
 	}
 

@@ -35,6 +35,20 @@ type RankSummary struct {
 
 	TaskCommits int64 // task.commit events (map tasks + reduce partitions)
 	LBFits      int64 // load-balancer model publications (lb.fit events)
+
+	// Stage sums recovery.stage attributions per Figure 3 bucket name
+	// ("init", "load", "skip", "reprocess"); nil when the trace predates
+	// stage events.
+	Stage map[string]time.Duration
+
+	// CkptStall sums ckpt.stall charges per kind ("write", "drain").
+	CkptStall map[string]time.Duration
+
+	// DroppedEvents is the ring-overwrite count reported by a trace.drops
+	// marker (serialized traces only; live tracers report via Dropped).
+	// Non-zero means this rank's timeline has a hole: any DAG or aggregate
+	// built from it is unreliable.
+	DroppedEvents int64
 }
 
 // Summary is the full derivation over an event stream.
@@ -50,6 +64,17 @@ func (s *Summary) Rank(rank int) *RankSummary {
 		s.Ranks[rank] = rs
 	}
 	return rs
+}
+
+// Dropped returns the total ring-overwrite count across ranks; non-zero
+// means the event stream has holes and every aggregate here is a lower
+// bound.
+func (s *Summary) Dropped() int64 {
+	var n int64
+	for _, rs := range s.Ranks {
+		n += rs.DroppedEvents
+	}
+	return n
 }
 
 // Summarize folds an event stream (as returned by Tracer.Events, i.e. in
@@ -140,6 +165,18 @@ func Summarize(events []Event) *Summary {
 			rs.TaskCommits++
 		case KindLBFit:
 			rs.LBFits++
+		case KindRecoveryStage:
+			if rs.Stage == nil {
+				rs.Stage = make(map[string]time.Duration)
+			}
+			rs.Stage[ev.Name] += time.Duration(ev.A)
+		case KindCkptStall:
+			if rs.CkptStall == nil {
+				rs.CkptStall = make(map[string]time.Duration)
+			}
+			rs.CkptStall[ev.Name] += time.Duration(ev.A)
+		case KindDrops:
+			rs.DroppedEvents += ev.A
 		}
 	}
 	return s

@@ -104,6 +104,29 @@ const (
 	// Straggler injection: a rank's compute charges stretch from here on.
 	// A=world rank, B=slowdown factor in permille.
 	KindSlowRank
+
+	// Job anchors: emitted once per rank when the job's runner starts and
+	// when the rank observes the final commit. Name=job id; job.end carries
+	// A=1 when the run aborted. The critical-path analyzer anchors its walk
+	// on the earliest job.begin and the latest job.end.
+	KindJobBegin
+	KindJobEnd // closes the job opened by KindJobBegin; A=1 on abort
+
+	// Recovery stage attribution: one of the paper's Figure 3 buckets was
+	// just charged. Name="init"|"load"|"skip"|"reprocess", A=duration in
+	// nanoseconds. Emitted at exactly the points where the runner
+	// accumulates RankMetrics.Recovery.*, so event sums equal the counters.
+	KindRecoveryStage
+
+	// Checkpoint stall attribution: the main thread blocked on checkpoint
+	// I/O. Name="write" (synchronous append) | "drain" (phase-boundary
+	// drain), A=duration in nanoseconds.
+	KindCkptStall
+
+	// Ring-buffer drop marker: the rank's recorder overwrote A events before
+	// serialization. Synthesized by WriteJSONL (never recorded live) so file
+	// consumers can tell a truncated DAG from a complete one.
+	KindDrops
 )
 
 var kindNames = map[Kind]string{
@@ -135,6 +158,11 @@ var kindNames = map[Kind]string{
 	KindCopierBegin:   "copier.begin",
 	KindCopierEnd:     "copier.end",
 	KindSlowRank:      "failure.slow",
+	KindJobBegin:      "job.begin",
+	KindJobEnd:        "job.end",
+	KindRecoveryStage: "recovery.stage",
+	KindCkptStall:     "ckpt.stall",
+	KindDrops:         "trace.drops",
 }
 
 // String returns the kind's stable wire name (e.g. "phase.begin"), as used
@@ -448,6 +476,51 @@ func (r *Recorder) RecoveryBegin() { r.emit(KindRecoveryBegin, "", 0, 0, 0) }
 
 // RecoveryEnd closes the recovery span.
 func (r *Recorder) RecoveryEnd() { r.emit(KindRecoveryEnd, "", 0, 0, 0) }
+
+// JobBegin anchors the start of a job's execution on this rank.
+func (r *Recorder) JobBegin(jobID string) { r.emit(KindJobBegin, jobID, 0, 0, 0) }
+
+// JobEnd anchors the rank observing the job's final commit (aborted=true
+// when the run is unwinding through an abort instead).
+func (r *Recorder) JobEnd(jobID string, aborted bool) {
+	a := int64(0)
+	if aborted {
+		a = 1
+	}
+	r.emit(KindJobEnd, jobID, a, 0, 0)
+}
+
+// RecoveryStage attributes d of recovery time to one Figure 3 bucket
+// (stage = "init", "load", "skip" or "reprocess"). Zero charges are elided.
+func (r *Recorder) RecoveryStage(stage string, d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.emit(KindRecoveryStage, stage, int64(d), 0, 0)
+}
+
+// CkptStall attributes d of main-thread blocking to checkpoint I/O
+// (what = "write" or "drain"). Zero charges are elided.
+func (r *Recorder) CkptStall(what string, d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.emit(KindCkptStall, what, int64(d), 0, 0)
+}
+
+// CollBeginN is CollBegin with the collective instance stamped: comm is the
+// communicator's world-unique id, seq the per-communicator operation
+// sequence number all participants of this instance share. The pair lets
+// the critical-path analyzer match a coll.end to exactly the begins of the
+// same instance instead of guessing from open spans.
+func (r *Recorder) CollBeginN(op string, comm, seq int) {
+	r.emit(KindCollBegin, op, int64(comm), int64(seq), 0)
+}
+
+// CollEndN closes the span opened by CollBeginN with the same stamp.
+func (r *Recorder) CollEndN(op string, comm, seq int) {
+	r.emit(KindCollEnd, op, int64(comm), int64(seq), 0)
+}
 
 // --- small local sorts (avoid pulling package sort into the hot file) ----
 

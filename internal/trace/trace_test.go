@@ -303,18 +303,25 @@ func TestTracerOverheadGate(t *testing.T) {
 
 // BenchmarkTracerOverheadDisabled measures the disabled hot path: a nil
 // recorder call must cost a single branch (plus call overhead when not
-// inlined). Compare with BenchmarkTracerOverheadEnabled.
+// inlined). Compare with BenchmarkTracerOverheadEnabled. The mix includes
+// the critical-path instrumentation (attribution stages, checkpoint stalls,
+// stamped collectives) so new call sites stay inside the same gate.
 func BenchmarkTracerOverheadDisabled(b *testing.B) {
 	var rec *Recorder
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rec.SendBegin(1, 2, 64)
 		rec.SendEnd(1, 2, 64, 1)
+		rec.RecoveryStage("skip", time.Millisecond)
+		rec.CkptStall("write", time.Millisecond)
+		rec.CollBeginN("barrier", 1, i)
+		rec.CollEndN("barrier", 1, i)
 	}
 }
 
 // BenchmarkTracerOverheadEnabled measures the live recorder with a full
-// (steady-state overwriting) ring.
+// (steady-state overwriting) ring, over the same call mix as the disabled
+// benchmark.
 func BenchmarkTracerOverheadEnabled(b *testing.B) {
 	_, tr := newTestTracer(1 << 10)
 	rec := tr.Rank(0)
@@ -323,5 +330,9 @@ func BenchmarkTracerOverheadEnabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rec.SendBegin(1, 2, 64)
 		rec.SendEnd(1, 2, 64, 1)
+		rec.RecoveryStage("skip", time.Millisecond)
+		rec.CkptStall("write", time.Millisecond)
+		rec.CollBeginN("barrier", 1, i)
+		rec.CollEndN("barrier", 1, i)
 	}
 }
