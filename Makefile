@@ -6,9 +6,9 @@ GO ?= go
 # the tracer- and metrics-overhead benchmarks that keep the disabled
 # instrumentation paths at one-branch cost, and the ftmr-trace, ftmr-metrics
 # and critical-path fixture self-tests.
-.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest bench
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest bench
 
-check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest
+check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,13 @@ critpath-selftest: build-cmds
 		/tmp/ftmr-critpath-selftest.jsonl >/dev/null
 	! bin/ftmr-trace critpath -against internal/trace/critpath/testdata/base.jsonl \
 		internal/trace/critpath/testdata/regressed.jsonl >/dev/null
+
+# Replica-tier self-test: 20 seeded chaos runs (random kills + storage
+# faults) with the diskless replica tier on and a whole-PFS outage window
+# mid-job; every run must finish with output bytes identical to the
+# fault-free baseline.
+replica-selftest:
+	$(GO) test ./internal/failure -run '^TestReplicaOutageChaosMatchesBaseline$$' -v
 
 # Regenerates the committed evaluation results: the human-readable tables
 # and the machine-readable trajectory document, from one run (so the two

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ftmrmpi/internal/cluster"
@@ -37,6 +38,24 @@ func parseModel(s string) (core.Model, error) {
 		return core.ModelDetectResumeNWC, nil
 	}
 	return 0, fmt.Errorf("unknown model %q (none|cr|wc|nwc)", s)
+}
+
+// parseOutage parses a "begin,end" pair of virtual-time durations.
+func parseOutage(s string) (begin, end time.Duration, err error) {
+	i := strings.IndexByte(s, ',')
+	if i < 0 {
+		return 0, 0, fmt.Errorf(`-outage wants "begin,end" durations, got %q`, s)
+	}
+	if begin, err = time.ParseDuration(s[:i]); err != nil {
+		return 0, 0, fmt.Errorf("-outage begin: %v", err)
+	}
+	if end, err = time.ParseDuration(s[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("-outage end: %v", err)
+	}
+	if end <= begin {
+		return 0, 0, fmt.Errorf("-outage window %q is empty (end must exceed begin)", s)
+	}
+	return begin, end, nil
 }
 
 func main() {
@@ -63,6 +82,8 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for chaos kills and storage faults")
 		chaosWin  = flag.Duration("chaos-window", 2*time.Second, "virtual-time window for chaos kills")
 		stFaults  = flag.Bool("storage-faults", false, "inject seeded storage faults (torn writes, bit flips, read errors, latency spikes)")
+		replicaK  = flag.Int("replica-k", 0, "diskless replica tier: push checkpoint frames to k ring-successor peers (0 disables)")
+		outage    = flag.String("outage", "", `PFS whole-tier outage window as "begin,end" virtual-time durations (e.g. "100ms,400ms")`)
 		streamTo  = flag.String("trace-stream", "", "stream JSONL events (write-through) to this file during the run")
 		critOut   = flag.String("critpath-out", "", "write the critical-path report to this file (enables tracing)")
 
@@ -79,6 +100,7 @@ func main() {
 		sloQuar     = flag.Float64("slo-quarantines", def.MaxQuarantines, "max checkpoint quarantines (negative: report-only)")
 		sloMissing  = flag.Float64("slo-missing-ranks", def.MaxMissingRanks, "max missing ranks (negative: report-only)")
 		sloCritPath = flag.Float64("slo-critpath-recovery", def.MaxRecoveryPathShare, "max recovery share of the critical path, 0..1 (negative: report-only)")
+		sloPFSShare = flag.Float64("slo-recovery-pfs-share", def.MaxRecoveryPFSShare, "max share of recovery reads served by the PFS instead of replicas, 0..1 (negative: report-only)")
 	)
 	flag.Parse()
 
@@ -133,6 +155,7 @@ func main() {
 		Prefetch:     *prefetch,
 		LoadBalance:  true,
 		LBModel:      lbm,
+		ReplicaK:     *replicaK,
 	}
 	if *gran == "chunk" {
 		base.Granularity = core.GranChunk
@@ -149,7 +172,7 @@ func main() {
 		spec := workloads.WordcountSpec("job", "in/job", *procs, p)
 		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
 		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
-		spec.LBModel = base.LBModel
+		spec.LBModel, spec.ReplicaK = base.LBModel, base.ReplicaK
 		h = core.RunSingle(clus, spec)
 	case "blast":
 		p := workloads.DefaultBlast()
@@ -157,7 +180,7 @@ func main() {
 		spec := workloads.BlastSpec("job", "in/job", *procs, p)
 		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
 		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
-		spec.LBModel = base.LBModel
+		spec.LBModel, spec.ReplicaK = base.LBModel, base.ReplicaK
 		h = core.RunSingle(clus, spec)
 	case "pagerank":
 		p := workloads.DefaultPageRank()
@@ -181,6 +204,14 @@ func main() {
 		// Attach after input generation so the corpus itself is pristine;
 		// everything the job reads and writes from here on can fault.
 		failure.StorageFaults(clus, *chaosSeed)
+	}
+	if *outage != "" {
+		begin, end, err := parseOutage(*outage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		failure.PFSOutage(clus, begin, end)
 	}
 	switch {
 	case *chaos > 0:
@@ -230,7 +261,7 @@ func main() {
 		allResults = append(allResults, h2.Result())
 	}
 
-	if *stFaults {
+	if *stFaults || *outage != "" {
 		s := clus.PFS.Faults.Stats
 		for _, n := range clus.Nodes {
 			if n.Local != nil && n.Local.Faults != nil {
@@ -240,10 +271,11 @@ func main() {
 				s.ReadErrors += ls.ReadErrors
 				s.ReadSpikes += ls.ReadSpikes
 				s.WriteSpikes += ls.WriteSpikes
+				s.OutageOps += ls.OutageOps
 			}
 		}
-		fmt.Fprintf(os.Stderr, "storage faults injected: torn=%d bitflip=%d readerr=%d rspike=%d wspike=%d\n",
-			s.TornWrites, s.BitFlips, s.ReadErrors, s.ReadSpikes, s.WriteSpikes)
+		fmt.Fprintf(os.Stderr, "storage faults injected: torn=%d bitflip=%d readerr=%d rspike=%d wspike=%d outage-ops=%d\n",
+			s.TornWrites, s.BitFlips, s.ReadErrors, s.ReadSpikes, s.WriteSpikes, s.OutageOps)
 	}
 	if streamFile != nil {
 		if err := clus.Trace.FlushStream(); err != nil {
@@ -328,6 +360,7 @@ func main() {
 				MaxQuarantines:       *sloQuar,
 				MaxMissingRanks:      *sloMissing,
 				MaxRecoveryPathShare: *sloCritPath,
+				MaxRecoveryPFSShare:  *sloPFSShare,
 			})
 			hl.Render(os.Stdout)
 			if hl.Breached() {

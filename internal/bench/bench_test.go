@@ -43,7 +43,7 @@ func TestLookupKnownAndUnknown(t *testing.T) {
 func TestAllFiguresRegistered(t *testing.T) {
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"abl-lb", "abl-gossip", "abl-queue", "abl-combiner", "abl-lb-trace"}
+		"abl-lb", "abl-gossip", "abl-queue", "abl-combiner", "abl-lb-trace", "abl-restore"}
 	figs := Figures()
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures registered, want %d", len(figs), len(want))
@@ -98,6 +98,30 @@ func TestFigureShapes(t *testing.T) {
 			cr, _ := strconv.ParseFloat(row[3], 64)
 			if cr <= 1.0 {
 				t.Fatalf("CR ratio %v at %s procs, want > 1 (checkpointing costs something)", cr, row[0])
+			}
+		}
+	})
+
+	t.Run("abl-restore-replica-beats-pfs", func(t *testing.T) {
+		tab := ablRestore(s)
+		if len(tab.Rows) != 2 {
+			t.Fatalf("rows: %v", tab.Rows)
+		}
+		pfsWorst, err1 := strconv.ParseFloat(tab.Rows[0][2], 64)
+		repWorst, err2 := strconv.ParseFloat(tab.Rows[1][2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad rows %v", tab.Rows)
+		}
+		if repWorst >= pfsWorst {
+			t.Fatalf("replica worst-rank recovery %vs not faster than PFS-only %vs", repWorst, pfsWorst)
+		}
+		repReads, _ := strconv.ParseFloat(tab.Rows[1][3], 64)
+		if repReads == 0 {
+			t.Fatal("replica run served no recovery reads from the replica tier")
+		}
+		for _, n := range tab.Notes {
+			if strings.Contains(n, "FAIL") {
+				t.Fatalf("slo gate breached: %v", tab.Notes)
 			}
 		}
 	})

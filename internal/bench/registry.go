@@ -34,6 +34,7 @@ func Figures() []Figure {
 		{"abl-queue", ablQueue, "ablation: gang-scheduler queue wait for CR resubmission"},
 		{"abl-combiner", ablCombiner, "ablation: local pre-reduction (compress) before the shuffle"},
 		{"abl-lb-trace", ablLBTrace, "ablation: static vs trace-driven balancing under an injected straggler"},
+		{"abl-restore", ablRestore, "ablation: peer-replica restore vs PFS-only recovery under repeated kills"},
 	}
 }
 

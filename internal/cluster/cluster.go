@@ -118,6 +118,9 @@ func NewOn(sim *vtime.Sim, cfg Config) *Cluster {
 	if cfg.PFSIOPS > 0 {
 		c.PFS.IOPS = vtime.NewBandwidth(sim, "pfs-iops", cfg.PFSIOPS)
 	}
+	// Wire the tiers to the simulator clock so charge-free reads (Peek)
+	// observe whole-tier outage windows (storage.Tier.Clock).
+	c.PFS.Clock = sim.Now
 	for n := 0; n < cfg.Nodes; n++ {
 		node := &Node{ID: n}
 		for s := 0; s < cfg.PPN; s++ {
@@ -129,6 +132,7 @@ func NewOn(sim *vtime.Sim, cfg Config) *Cluster {
 			if cfg.LocalDiskIOPS > 0 {
 				node.Local.IOPS = vtime.NewBandwidth(sim, fmt.Sprintf("disk-iops-n%d", n), cfg.LocalDiskIOPS)
 			}
+			node.Local.Clock = sim.Now
 		}
 		c.Nodes = append(c.Nodes, node)
 	}

@@ -255,6 +255,14 @@ type Spec struct {
 	// StatusEvery is how many task completions pass between the distributed
 	// masters' status gossip rounds (default 1).
 	StatusEvery int
+
+	// ReplicaK enables the diskless in-memory replica tier (ReStore-style):
+	// every committed checkpoint frame is also pushed over MPI into the
+	// memory of ReplicaK ring-successor peers, and recovery reads fail over
+	// local replica → peer replica → PFS. 0 (the default) disables
+	// replication, keeping runs byte-identical to pre-replica behaviour.
+	// Only meaningful for checkpointing models.
+	ReplicaK int
 }
 
 // withDefaults fills zero fields.

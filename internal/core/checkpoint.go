@@ -302,7 +302,8 @@ type ckptWriter struct {
 	m       *RankMetrics
 	rec     *trace.Recorder
 	cm      *coreMets
-	agent   *lbAgent // fed phase-boundary drain stalls (trace LB model)
+	agent   *lbAgent    // fed phase-boundary drain stalls (trace LB model)
+	rep     *replicator // nil when the in-memory replica tier is disabled
 }
 
 // write appends encoded frame bytes to a stream, charging frames small
@@ -322,6 +323,7 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 		w.cm.ckptWrite(d)
 		w.rec.CkptStall("write", d)
 		w.cp.enqueue(stream)
+		w.replicate(stream, data)
 		return
 	}
 	// Direct to PFS: every frame is a distinct small operation against the
@@ -330,6 +332,19 @@ func (w *ckptWriter) write(p *vtime.Proc, stream string, data []byte, frames int
 	w.m.IOWait += d
 	w.cm.ckptWrite(d)
 	w.rec.CkptStall("write", d)
+	w.replicate(stream, data)
+}
+
+// replicate pushes freshly committed frame bytes into the in-memory replica
+// tier (no-op when disabled). The pushed bytes are the pre-injection
+// originals — replica copies are clean by construction, which is why the
+// read-path failover chain may prefer them over a possibly-corrupt durable
+// copy. Pushed even when the durable append was dropped after retries: the
+// RAM tier failing independently of the disk tiers is the point.
+func (w *ckptWriter) replicate(stream string, data []byte) {
+	if w.rep != nil {
+		w.rep.push(stream, data)
+	}
 }
 
 // appendRepair appends data to path on t, rolling back and retrying torn
@@ -378,25 +393,44 @@ type ckptReader struct {
 	cm       *coreMets
 	// staged marks streams already prefetched to the local disk.
 	staged map[string]bool
+	// rs, when non-nil, is the rank's in-memory replica store; load prefers
+	// it over the PFS (the failover chain's RAM tiers).
+	rs *replicaStore
 }
 
-// load returns the decoded frames of a stream, charging recovery I/O. With
-// prefetching (§5.1) the stream is first staged to the local disk in one
-// bulk PFS read, then replayed from local storage; without it, every frame
-// is a separate small PFS read. Transient read faults are retried; a torn
-// tail or corrupted frame is quarantined WAL-style: the master copy is
-// truncated to its longest valid prefix (so later readers replay only good
-// frames) and the lost tail's work is simply redone by the caller.
+// Recovery read-path sources, in failover-chain order. The literals must
+// match the metrics health engine's ftmr_recovery_reads source labels.
+const (
+	srcReplicaLocal = "replica-local"
+	srcReplicaPeer  = "replica-peer"
+	srcPFS          = "pfs"
+)
+
+// load returns the decoded frames of a stream, charging recovery I/O. The
+// read path is a failover chain: the rank's own in-memory mirror, then
+// frames pushed by replica partners — both RAM, no storage charge, clean by
+// construction — and only then the PFS. With prefetching (§5.1) the PFS
+// stream is first staged to the local disk in one bulk read, then replayed
+// from local storage; without it, every frame is a separate small PFS read.
+// Transient read faults are retried; a whole-tier outage is waited out
+// (only reached when no replica covers the stream); a torn tail or
+// corrupted frame is quarantined WAL-style: the master copy is truncated to
+// its longest valid prefix (so later readers replay only good frames) and
+// the lost tail's work is redone by the caller — unless a replica holds the
+// frames, in which case the chain never reaches the damaged copy.
 func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
-	path := ckptPath(r.jobID, stream)
-	if !r.pfs.Exists(path) {
-		return nil
-	}
 	// Whatever this call adds to the load-checkpoint bucket — staging reads,
 	// retries, per-frame replay charges — is attributed as one stage event,
 	// keeping event sums equal to the hand-kept counter.
 	pre := r.m.Recovery.LoadCkpt
 	defer func() { r.rec.RecoveryStage("load", r.m.Recovery.LoadCkpt-pre) }()
+	if frames := r.loadReplica(stream); frames != nil {
+		return frames
+	}
+	path := ckptPath(r.jobID, stream)
+	if !r.pfs.Exists(path) {
+		return nil
+	}
 	var raw []byte
 	if r.prefetch && r.local != nil {
 		if !r.staged[stream] {
@@ -410,6 +444,12 @@ func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 				if werr == nil || attempt >= 2 {
 					break
 				}
+				if errors.Is(werr, storage.ErrTierOutage) {
+					// A local-tier outage stalls staging rather than failing
+					// it; waiting never consumes the retry budget.
+					r.local.AwaitOnline(p)
+					attempt--
+				}
 			}
 			r.staged[stream] = true
 		}
@@ -420,6 +460,13 @@ func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 		raw = data
 	} else {
 		data, err := r.pfs.Peek(path)
+		if errors.Is(err, storage.ErrTierOutage) {
+			// No replica covered the stream and the PFS is offline: wait the
+			// window out. Bounded by the outage schedule, and the only way to
+			// preserve the run's output byte-for-byte.
+			r.pfs.AwaitOnline(p)
+			data, err = r.pfs.Peek(path)
+		}
 		if err != nil {
 			return nil
 		}
@@ -443,20 +490,70 @@ func (r *ckptReader) load(p *vtime.Proc, stream string) []frame {
 		// Direct PFS replay: charge one operation per frame.
 		r.m.Recovery.LoadCkpt += r.pfs.Charge(p, len(frames), consumed)
 	}
-	r.m.RecoveredBytes += int64(consumed)
-	r.m.RecoveredFrames += int64(len(frames))
-	r.rec.CkptLoad(stream, consumed, len(frames))
+	r.accountLoad(stream, srcPFS, raw[:consumed], frames)
 	return frames
 }
 
+// loadReplica serves a stream from the in-memory replica tier, or nil when
+// no replica covers it. Replica bytes carry no storage charge (they are
+// already in the reader's RAM; the network cost was paid when they were
+// pushed), which is exactly the recovery-time win the abl-restore ablation
+// measures.
+func (r *ckptReader) loadReplica(stream string) []frame {
+	if r.rs == nil {
+		return nil
+	}
+	raw, own := r.rs.lookup(stream)
+	if raw == nil {
+		return nil
+	}
+	frames, consumed, derr := decodeFramesPrefix(raw)
+	if len(frames) == 0 {
+		return nil // defensive: fall through to the durable chain
+	}
+	if derr != nil {
+		// A replica with a broken tail (shouldn't happen — pushes are whole
+		// clean frames): keep only the valid prefix so later appends can't
+		// land behind garbage.
+		r.rs.truncate(stream, consumed)
+	}
+	source := srcReplicaPeer
+	if own {
+		source = srcReplicaLocal
+	}
+	r.accountLoad(stream, source, raw[:consumed], frames)
+	return frames
+}
+
+// accountLoad records one satisfied recovery read: byte/frame counters, the
+// ckpt.load event, the recovery.source attribution, and the per-source
+// registry counter. It also seeds the reader's replica mirror — the rank
+// that replayed a stream owns it from here on.
+func (r *ckptReader) accountLoad(stream, source string, valid []byte, frames []frame) {
+	r.m.RecoveredBytes += int64(len(valid))
+	r.m.RecoveredFrames += int64(len(frames))
+	r.rec.CkptLoad(stream, len(valid), len(frames))
+	r.rec.RecoverySource(source, len(valid), len(frames))
+	r.cm.recoveryRead(source)
+	if r.rs != nil {
+		r.rs.adopt(stream, valid)
+	}
+}
+
 // readRetry reads path from t, retrying transient read faults a bounded
-// number of times and accumulating the I/O wait into acc.
+// number of times and accumulating the I/O wait into acc. A whole-tier
+// outage is waited out without consuming the retry budget.
 func readRetry(p *vtime.Proc, t *storage.Tier, path string, acc *time.Duration) ([]byte, bool) {
 	for attempt := 0; ; attempt++ {
 		data, d, err := t.ReadFile(p, path)
 		*acc += d
 		if err == nil {
 			return data, true
+		}
+		if errors.Is(err, storage.ErrTierOutage) {
+			t.AwaitOnline(p)
+			attempt--
+			continue
 		}
 		if !errors.Is(err, storage.ErrReadFault) || attempt >= 2 {
 			return nil, false

@@ -77,6 +77,49 @@ func TestCkptReaderQuarantinesBitFlip(t *testing.T) {
 	}
 }
 
+// --- replica fallback: corrupt durable copy never costs re-execution ------
+
+func TestCorruptStreamServedFromReplica(t *testing.T) {
+	clus := ckptCluster()
+	m := newRankMetrics(0)
+	var stream []byte
+	stream = encodeFrame(stream, frameShuffle, 0, 0, []byte("first"))
+	stream = encodeFrame(stream, frameShuffle, 1, 0, []byte("second"))
+	// The durable copy is corrupted in its very first frame: its valid
+	// prefix is empty, so the PFS alone would quarantine everything and
+	// force full re-execution.
+	bad := append([]byte(nil), stream...)
+	bad[frameHdrLen] ^= 0x01
+	path := ckptPath("job", "part/p000001")
+	clus.FS.Write("pfs:"+path, bad)
+
+	// A peer pushed the clean frames here before the writer died.
+	rs := newReplicaStore()
+	rs.receive(replicaDelta, "part/p000001", stream)
+
+	var frames []frame
+	clus.Sim.Spawn("main", func(p *vtime.Proc) {
+		rd := &ckptReader{jobID: "job", pfs: clus.PFS, m: m, staged: make(map[string]bool), rs: rs}
+		frames = rd.load(p, "part/p000001")
+	})
+	clus.Sim.Run()
+	if len(frames) != 2 || string(frames[0].payload) != "first" || string(frames[1].payload) != "second" {
+		t.Fatalf("replayed %d frames, want both clean frames from the replica", len(frames))
+	}
+	// The replica won the failover chain, so the corrupt durable stream was
+	// never read: no quarantine, no data loss.
+	if m.Counters["ckpt_corrupt"] != 0 {
+		t.Fatalf("ckpt_corrupt = %d, want 0 (replica should preempt quarantine)", m.Counters["ckpt_corrupt"])
+	}
+	if m.RecoveredFrames != 2 {
+		t.Fatalf("RecoveredFrames = %d, want 2", m.RecoveredFrames)
+	}
+	// The reader now owns the stream: the replica was adopted as its mirror.
+	if d, own := rs.lookup("part/p000001"); !own || len(d) != len(stream) {
+		t.Fatalf("stream not adopted into the reader's mirror (own=%v len=%d)", own, len(d))
+	}
+}
+
 // --- end-to-end: corrupted checkpoints still yield a correct job ----------
 
 func TestRestartWithCorruptedCheckpointsCompletes(t *testing.T) {

@@ -22,6 +22,11 @@ type coreMets struct {
 	ckptDrainWait    *metrics.Counter
 	quarantines      *metrics.Counter
 
+	// recReads counts recovery-time checkpoint reads by failover-chain
+	// source ("replica-local", "replica-peer", "pfs"); the series are
+	// world-scoped (one per source, shared by all ranks).
+	recReads map[string]*metrics.Counter
+
 	lbIntercept *metrics.Gauge
 	lbSlope     *metrics.Gauge
 	lbResidual  *metrics.Gauge
@@ -57,6 +62,17 @@ func bindCoreMets(reg *metrics.Registry, rank int) *coreMets {
 			"Seconds waiting in end-of-phase checkpoint drain barriers.", rank),
 		quarantines: reg.Counter(metrics.MCkptQuarantines,
 			"Checkpoint streams truncated to their longest valid prefix.", rank),
+		recReads: map[string]*metrics.Counter{
+			srcReplicaLocal: reg.CounterL(metrics.MRecoveryReads,
+				"Recovery-time checkpoint stream reads by failover-chain source.",
+				"source", srcReplicaLocal),
+			srcReplicaPeer: reg.CounterL(metrics.MRecoveryReads,
+				"Recovery-time checkpoint stream reads by failover-chain source.",
+				"source", srcReplicaPeer),
+			srcPFS: reg.CounterL(metrics.MRecoveryReads,
+				"Recovery-time checkpoint stream reads by failover-chain source.",
+				"source", srcPFS),
+		},
 		lbIntercept: reg.Gauge("ftmr_lb_fit_intercept_seconds",
 			"Load-balance model intercept from the latest fit.", rank),
 		lbSlope: reg.Gauge("ftmr_lb_fit_slope_seconds_per_byte",
@@ -124,6 +140,17 @@ func (c *coreMets) quarantine() {
 		return
 	}
 	c.quarantines.Inc()
+}
+
+// recoveryRead counts one recovery-time checkpoint read by the
+// failover-chain source that satisfied it.
+func (c *coreMets) recoveryRead(source string) {
+	if c == nil {
+		return
+	}
+	if ctr := c.recReads[source]; ctr != nil {
+		ctr.Inc()
+	}
 }
 
 // lbFit publishes the latest load-balance fit parameters.

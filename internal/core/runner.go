@@ -86,6 +86,7 @@ type runner struct {
 	ck           *ckptWriter
 	cp           *copier
 	rd           *ckptReader
+	rep          *replicator // nil when Spec.ReplicaK == 0
 	lb           lbAgent
 	backlogBytes float64 // bytes of input work remaining (for balancing)
 
@@ -166,6 +167,11 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		cm:       cm,
 		staged:   make(map[string]bool),
 	}
+	if spec.ReplicaK > 0 && r.ck.enabled {
+		r.rep = newReplicator(r, spec.ReplicaK)
+		r.ck.rep = r.rep
+		r.rd.rs = r.rep.store
+	}
 	return r
 }
 
@@ -221,6 +227,12 @@ func (r *runner) run() error {
 		r.rec.PhaseEnd(string(ph))
 		if err != nil {
 			return err
+		}
+		if r.rep != nil {
+			// Fold banked replica pushes in at every phase boundary: the
+			// barrier that just completed guarantees every pre-barrier eager
+			// push has been delivered to this rank's mailbox.
+			r.rep.drain()
 		}
 		r.phase++
 	}
@@ -370,10 +382,19 @@ func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) erro
 	}
 
 	// Read the chunk (the library owns all file I/O; the user's reader only
-	// tokenizes, §3.2). Transient read faults are retried (bounded).
+	// tokenizes, §3.2). Transient read faults are retried (bounded); a
+	// whole-tier outage is waited out — input lives only on the PFS, so the
+	// job stalls through the window instead of aborting.
 	data, d, err := clus.PFS.ReadFile(r.p, task.Chunk.File)
 	r.m.IOWait += d
-	for attempt := 0; errors.Is(err, storage.ErrReadFault) && attempt < 2; attempt++ {
+	for attempt := 0; err != nil; {
+		if errors.Is(err, storage.ErrTierOutage) {
+			clus.PFS.AwaitOnline(r.p)
+		} else if !errors.Is(err, storage.ErrReadFault) || attempt >= 2 {
+			break
+		} else {
+			attempt++
+		}
 		data, d, err = clus.PFS.ReadFile(r.p, task.Chunk.File)
 		r.m.IOWait += d
 	}
@@ -540,8 +561,12 @@ func (r *runner) gossipStatus() {
 	_ = r.net(func() error { return r.comm.Send(next, r.statusTag, r.tt.doneBitmap()) })
 }
 
-// drainStatus merges any pending status messages.
+// drainStatus merges any pending status messages (and, with replication
+// on, folds in any banked replica pushes — same opportunistic cadence).
 func (r *runner) drainStatus() {
+	if r.rep != nil {
+		r.rep.drain()
+	}
 	for {
 		m, ok, err := r.comm.TryRecv(mpi.AnySource, r.statusTag)
 		if err != nil || !ok {
@@ -836,8 +861,15 @@ func (r *runner) phaseReduce() error {
 						break
 					}
 					// Torn output append: roll back to the pre-append length
-					// and retry, keeping committed bytes byte-exact.
+					// and retry, keeping committed bytes byte-exact. A
+					// whole-PFS outage stalls the commit through the window
+					// without consuming the retry budget.
 					clus.PFS.Truncate(path, pre)
+					if errors.Is(err, storage.ErrTierOutage) {
+						clus.PFS.AwaitOnline(r.p)
+						attempt--
+						continue
+					}
 					if attempt >= 7 {
 						return fmt.Errorf("core: output commit for partition %d: %w", part, err)
 					}
@@ -1045,31 +1077,40 @@ func (r *runner) recoverDR(retry bool) (err error) {
 
 	if r.phaseAtLeast(minPhase, phShuffle) && len(lostPending) == 0 {
 		// Post-shuffle failure: partition data was lost from memory. With
-		// checkpoints (WC) it is restored from the PFS; without (NWC), or
-		// if a partition's shuffle snapshot never became durable, the map
+		// checkpoints (WC) it is restored from a replica or the PFS; without
+		// (NWC), or if a partition's snapshot survives nowhere, the map
 		// output must be regenerated and re-exchanged.
-		needRemap := !wc
-		if wc {
-			for _, part := range lost {
-				if !r.hasShuffleSnapshot(part) {
-					needRemap = true
-					break
-				}
-			}
-		}
 		r.reassign(lost, models, func(part int) float64 {
 			if sz := pfs.Size(ckptPath(r.spec.JobID, partStream(part))); sz > 0 {
 				return float64(sz)
 			}
 			return 1
 		})
+		// Hand the lost partitions' in-memory replicas to their new owners
+		// before judging restorability, so peer-RAM copies count even when
+		// the PFS copy is torn — or the whole tier is offline.
+		if err := r.exchangeReplicas(lost, nil); err != nil {
+			return err
+		}
+		needRemap := !wc
+		if wc {
+			v, err := r.needRemapAgreed(lost)
+			if err != nil {
+				return err
+			}
+			needRemap = v
+		}
 		if needRemap {
 			// Non-work-conserving recovery: "the surviving processes
 			// recover the lost work by re-running all the tasks from the
 			// failed processes" — including completed tasks whose output
 			// lived only in dead memory.
 			r.markNotDone(lostDone)
-			r.redistributeTasks(append(lostDone, lostPending...), models, wc)
+			lostTasks := append(lostDone, lostPending...)
+			r.redistributeTasks(lostTasks, models, wc)
+			if err := r.exchangeReplicas(nil, lostTasks); err != nil {
+				return err
+			}
 			r.shuffled = false
 			for _, part := range lost {
 				if r.partOwner[part] == r.myWorld() {
@@ -1110,7 +1151,11 @@ func (r *runner) recoverDR(retry bool) (err error) {
 			}
 		}
 		r.markNotDone(lostDone)
-		r.redistributeTasks(append(lostDone, lostPending...), models, wc)
+		lostTasks := append(lostDone, lostPending...)
+		r.redistributeTasks(lostTasks, models, wc)
+		if err := r.exchangeReplicas(nil, lostTasks); err != nil {
+			return err
+		}
 		r.shuffled = false
 		minPhase = phMap
 	}
@@ -1225,11 +1270,22 @@ func (r *runner) redistributeTasks(lostIDs []int, models []lbModel, restorable b
 // enough once streams can be torn or corrupted: work-conserving adoption of
 // a partition whose snapshot frame was lost would silently drop its data.
 func (r *runner) hasShuffleSnapshot(part int) bool {
-	data, err := r.job.clus.PFS.Peek(ckptPath(r.spec.JobID, partStream(part)))
+	pfs := r.job.clus.PFS
+	data, err := pfs.Peek(ckptPath(r.spec.JobID, partStream(part)))
+	if errors.Is(err, storage.ErrTierOutage) {
+		pfs.AwaitOnline(r.p)
+		data, err = pfs.Peek(ckptPath(r.spec.JobID, partStream(part)))
+	}
 	if err != nil {
 		return false
 	}
 	frames, _, _ := decodeFramesPrefix(data)
+	return shuffleSnapshotIn(frames)
+}
+
+// shuffleSnapshotIn reports whether a decoded frame sequence carries a valid
+// post-shuffle snapshot.
+func shuffleSnapshotIn(frames []frame) bool {
 	for _, f := range frames {
 		if f.kind != frameShuffle {
 			continue
@@ -1242,6 +1298,62 @@ func (r *runner) hasShuffleSnapshot(part int) bool {
 		}
 	}
 	return false
+}
+
+// canRestorePartition reports whether this rank — the partition's new owner
+// — can restore it work-conservingly from anywhere in the failover chain:
+// its replica store (own mirror or peer-pushed copy, just topped up by
+// exchangeReplicas) or the PFS.
+func (r *runner) canRestorePartition(part int) bool {
+	if r.rep != nil {
+		if data, _ := r.rep.store.lookup(partStream(part)); data != nil {
+			frames, _, _ := decodeFramesPrefix(data)
+			if shuffleSnapshotIn(frames) {
+				return true
+			}
+		}
+	}
+	return r.hasShuffleSnapshot(part)
+}
+
+// needRemapAgreed decides, identically on every survivor, whether the lost
+// partitions must be regenerated (remap) instead of adopted from snapshots.
+func (r *runner) needRemapAgreed(lost []int) (bool, error) {
+	if r.rep == nil {
+		// PFS-only: the verdict derives from shared durable state, so every
+		// survivor computes the same answer locally — no agreement round
+		// (and none is charged, keeping replica-free runs byte-identical to
+		// pre-replica behaviour).
+		for _, part := range lost {
+			if !r.hasShuffleSnapshot(part) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	// With replicas, restorability depends on each new owner's private
+	// in-memory store, so verdicts can differ per rank; each owner judges
+	// its own adopted partitions and the ranks agree by allreduce-max.
+	local := int64(0)
+	me := r.myWorld()
+	for _, part := range lost {
+		if r.partOwner[part] == me && !r.canRestorePartition(part) {
+			local = 1
+			break
+		}
+	}
+	var verdict int64
+	err := r.net(func() error {
+		v, e := r.comm.AllreduceInt64(local, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		verdict = v
+		return e
+	})
+	return verdict == 1, err
 }
 
 // restorePartition loads an adopted partition's post-shuffle data,
@@ -1294,6 +1406,12 @@ func (r *runner) truncateOutput(part int) {
 	path := outputPath(r.spec.JobID, part)
 	pfs := r.job.clus.PFS
 	data, err := pfs.Peek(path)
+	if errors.Is(err, storage.ErrTierOutage) {
+		// Skipping the truncation would leave a stale uncommitted tail in the
+		// final output, so wait the outage out.
+		pfs.AwaitOnline(r.p)
+		data, err = pfs.Peek(path)
+	}
 	if err != nil {
 		return
 	}
@@ -1471,6 +1589,13 @@ func (r *runner) finishOutputs() {
 	tmp := marker + ".tmp"
 	for attempt := 0; ; attempt++ {
 		_, err := pfs.WriteFile(r.p, tmp, []byte("done"))
+		if errors.Is(err, storage.ErrTierOutage) {
+			// Completion must be recorded; wait the outage out without
+			// burning the bounded torn-write retries.
+			pfs.AwaitOnline(r.p)
+			attempt--
+			continue
+		}
 		if err == nil || attempt >= 3 {
 			break
 		}

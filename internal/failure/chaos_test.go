@@ -163,6 +163,80 @@ func TestKillDuringRecoveryRestartsRecovery(t *testing.T) {
 	}
 }
 
+// TestReplicaOutageChaosMatchesBaseline is the replica-selftest: a
+// failure-free baseline, then 20 seeded chaos runs that each add — on top
+// of random kills and storage faults — the diskless replica tier
+// (ReplicaK=2) and a whole-PFS outage window in the middle of the job.
+// Every run must terminate (ranks wait the outage out rather than abort),
+// strand nothing, and produce per-partition bytes identical to the
+// baseline; across the campaign the outage window must actually have
+// rejected PFS operations.
+func TestReplicaOutageChaosMatchesBaseline(t *testing.T) {
+	const (
+		runs     = 20
+		maxKills = 2
+		name     = "rchaos"
+	)
+	p := chaosCorpus()
+
+	repSpec := func() core.Spec {
+		spec := chaosSpec(name, p)
+		spec.ReplicaK = 2
+		return spec
+	}
+
+	base := chaosCluster()
+	workloads.GenCorpus(base, "in/"+name, p)
+	hb := core.RunSingle(base, repSpec())
+	base.Sim.Run()
+	if res := hb.Result(); res == nil || res.Aborted {
+		t.Fatalf("baseline did not complete: %+v", res)
+	}
+	baseline := readParts(base, name)
+	for i, b := range baseline {
+		if len(b) == 0 {
+			t.Fatalf("baseline partition %d is empty", i)
+		}
+	}
+	killWindow := base.Sim.Now() * 6 / 10
+	// The whole PFS goes dark for a fifth of the baseline makespan, starting
+	// mid-map — overlapping both checkpoint writes and, on most seeds, the
+	// recovery reads that follow the first kill.
+	outBegin := base.Sim.Now() * 35 / 100
+	outEnd := base.Sim.Now() * 55 / 100
+
+	outageOps := 0
+	for seed := int64(1); seed <= runs; seed++ {
+		clus := chaosCluster()
+		workloads.GenCorpus(clus, "in/"+name, p)
+		StorageFaults(clus, seed)
+		PFSOutage(clus, outBegin, outEnd)
+
+		h := core.RunSingle(clus, repSpec())
+		Chaos(h, seed, maxKills, killWindow)
+		clus.Sim.Run() // returning at all is the termination check
+
+		res := h.Result()
+		if res == nil || res.Aborted {
+			t.Fatalf("seed %d: aborted or never started: %+v", seed, res)
+		}
+		if st := clus.Sim.Stranded(); len(st) != 0 {
+			t.Fatalf("seed %d: stranded procs: %v", seed, st)
+		}
+		got := readParts(clus, name)
+		for i := range baseline {
+			if !bytes.Equal(got[i], baseline[i]) {
+				t.Fatalf("seed %d: partition %d differs from baseline (%d vs %d bytes)",
+					seed, i, len(got[i]), len(baseline[i]))
+			}
+		}
+		outageOps += clus.PFS.Faults.Stats.OutageOps
+	}
+	if outageOps == 0 {
+		t.Error("no PFS operation ever hit the outage window")
+	}
+}
+
 // TestChaosRunsMatchBaseline runs a failure-free baseline, then 20 seeded
 // chaos runs (random kills, a kill aimed inside the first recovery window,
 // and storage fault injection on every tier) on fresh clusters. Every run

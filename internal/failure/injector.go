@@ -185,6 +185,25 @@ func StorageFaults(clus *cluster.Cluster, seed int64) {
 	}
 }
 
+// PFSOutage schedules one whole-PFS outage window [begin, end): every
+// charged PFS operation — and Peek — inside the window fails with
+// storage.ErrTierOutage, modeling the file system going fully offline (a
+// failed metadata server, a fabric partition). If the PFS has no fault
+// injector yet, a rule-free one is attached, so the outage composes with or
+// without StorageFaults — and never perturbs its seeded per-path fault
+// sequences (outage checks don't touch the injector RNG).
+func PFSOutage(clus *cluster.Cluster, begin, end time.Duration) {
+	if end <= begin {
+		return
+	}
+	if clus.PFS.Faults == nil {
+		clus.PFS.Faults = storage.NewInjector(storage.FaultPolicy{})
+		clus.PFS.Faults.BindMetrics(clus.Metrics, clus.PFS.Name)
+	}
+	clus.PFS.Faults.AddOutage(storage.OutageWindow{Begin: begin, End: end})
+	countInjected(clus.Metrics, "outage")
+}
+
 // Continuous kills one random live rank every interval, starting after the
 // first interval, until maxKills processes have been killed (or only one
 // rank remains). The seed makes runs reproducible.

@@ -63,6 +63,18 @@ const (
 	MCritPathMakespan = "ftmr_critpath_makespan_seconds"
 	// MCritPathUnreliable is 1 when the analyzed trace lost events.
 	MCritPathUnreliable = "ftmr_critpath_unreliable"
+	// MRecoveryReads counts recovery-time checkpoint stream reads by the
+	// source that satisfied them (labeled source=replica-local |
+	// replica-peer | pfs), emitted by the internal/core failover chain.
+	MRecoveryReads = "ftmr_recovery_reads"
+)
+
+// Recovery read-path source label values the health engine reads from
+// MRecoveryReads (must match the internal/core failover chain's sources).
+const (
+	recoverySourceReplicaLocal = "replica-local"
+	recoverySourceReplicaPeer  = "replica-peer"
+	recoverySourcePFS          = "pfs"
 )
 
 // Critical-path category label values the health engine reads from
@@ -103,6 +115,12 @@ type SLO struct {
 	// ftmr_critpath_share gauges). Runs without critpath data evaluate to 0
 	// and always pass.
 	MaxRecoveryPathShare float64
+	// MaxRecoveryPFSShare bounds the fraction of recovery-time checkpoint
+	// reads that fell through to the PFS (0..1, from the
+	// ftmr_recovery_reads{source} counters). With peer-memory replication
+	// enabled most recovery reads should come from RAM; runs without
+	// recovery reads evaluate to 0 and always pass.
+	MaxRecoveryPFSShare float64
 }
 
 // DefaultSLO returns the default gate: checkpoint overhead <= 7% (the
@@ -119,6 +137,7 @@ func DefaultSLO() SLO {
 		MaxQuarantines:       -1,
 		MaxMissingRanks:      -1,
 		MaxRecoveryPathShare: 0.9,
+		MaxRecoveryPFSShare:  -1,
 	}
 }
 
@@ -221,6 +240,11 @@ func Evaluate(snap Snapshot, slo SLO) Health {
 		series(MCritPathShare, critPathRecoveryReprocess)
 	tracesDropped := snap.Total(MTraceDropped)
 
+	recLocal := series(MRecoveryReads, recoverySourceReplicaLocal)
+	recPeer := series(MRecoveryReads, recoverySourceReplicaPeer)
+	recPFS := series(MRecoveryReads, recoverySourcePFS)
+	pfsShare := ratio(recPFS, recLocal+recPeer+recPFS)
+
 	h := Health{Indicators: []Indicator{
 		indicator("ckpt_overhead_fraction", overhead, slo.MaxCkptOverhead,
 			fmt.Sprintf("ckpt %.3fs of %.3fs busy (write+drain+copier CPU; %.3fs copier I/O overlapped)",
@@ -240,6 +264,9 @@ func Evaluate(snap Snapshot, slo SLO) Health {
 			fmt.Sprintf("recovery categories on the critical path (makespan %.3fs; unreliable=%g, %g trace events dropped)",
 				series(MCritPathMakespan, "makespan"),
 				series(MCritPathUnreliable, "unreliable"), tracesDropped)),
+		indicator("recovery_read_pfs_share", pfsShare, slo.MaxRecoveryPFSShare,
+			fmt.Sprintf("recovery reads by source: replica-local %g, replica-peer %g, pfs %g",
+				recLocal, recPeer, recPFS)),
 	}}
 	h.Degraded = missing > 0 || quarantines > 0 || snap.Total(MFailedRanks) > 0 ||
 		tracesDropped > 0 || series(MCritPathUnreliable, "unreliable") > 0

@@ -41,12 +41,14 @@ func TestMetricsOverheadGate(t *testing.T) {
 func BenchmarkMetricsOverheadDisabled(b *testing.B) {
 	var r *Registry
 	c := r.Counter("ftmr_bench", "h", 0)
+	cl := r.CounterL("ftmr_bench_l", "h", "source", "pfs")
 	g := r.Gauge("ftmr_bench_g", "h", 0)
 	h := r.Histogram("ftmr_bench_h", "h", 0, TaskSecondsBuckets)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 		c.Add(2.5)
+		cl.Inc()
 		g.Set(float64(i))
 		h.Observe(0.015)
 	}
@@ -57,6 +59,7 @@ func BenchmarkMetricsOverheadDisabled(b *testing.B) {
 func BenchmarkMetricsOverheadEnabled(b *testing.B) {
 	r := New(vtime.NewSim())
 	c := r.Counter("ftmr_bench", "h", 0)
+	cl := r.CounterL("ftmr_bench_l", "h", "source", "pfs")
 	g := r.Gauge("ftmr_bench_g", "h", 0)
 	h := r.Histogram("ftmr_bench_h", "h", 0, TaskSecondsBuckets)
 	b.ReportAllocs()
@@ -64,6 +67,7 @@ func BenchmarkMetricsOverheadEnabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 		c.Add(2.5)
+		cl.Inc()
 		g.Set(float64(i))
 		h.Observe(0.015)
 	}

@@ -352,6 +352,12 @@ func (c *Comm) Size() int { return len(c.st.group) }
 // WorldRank translates a communicator rank to a world rank.
 func (c *Comm) WorldRank(commRank int) int { return c.st.group[commRank] }
 
+// CommRankOf translates a world rank to its rank within this communicator,
+// or -1 when the world rank is not in the communicator's group. The inverse
+// of WorldRank; callers that compute placement in world-rank space (replica
+// partners) use it to address sends on a shrunk communicator.
+func (c *Comm) CommRankOf(worldRank int) int { return c.st.commRankOf(worldRank) }
+
 // Self returns the rank object of the caller.
 func (c *Comm) Self() *Rank { return c.r }
 

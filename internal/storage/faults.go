@@ -46,6 +46,25 @@ var ErrTornWrite = errors.New("storage: torn write")
 // succeeds.
 var ErrReadFault = errors.New("storage: transient read error")
 
+// ErrTierOutage reports an operation attempted while the whole tier is
+// offline. Unlike the transient faults above, outages are NOT subject to the
+// per-path sticky guarantee: every operation keeps failing until the outage
+// window ends. Callers either fail over to another tier or wait the window
+// out with Tier.AwaitOnline.
+var ErrTierOutage = errors.New("storage: tier outage")
+
+// OutageWindow takes a whole tier offline for the half-open virtual-time
+// interval [Begin, End): every charged operation — and Peek — fails with
+// ErrTierOutage while the window is active.
+type OutageWindow struct {
+	Begin, End time.Duration
+}
+
+// covers reports whether the window is active at virtual time now.
+func (w OutageWindow) covers(now time.Duration) bool {
+	return w.End > w.Begin && now >= w.Begin && now < w.End
+}
+
 // FaultRule gives per-path-prefix fault probabilities. An empty Prefix
 // matches every path.
 type FaultRule struct {
@@ -63,9 +82,13 @@ type FaultRule struct {
 
 // FaultPolicy seeds an Injector: the first rule whose prefix matches the
 // (tier-relative) path governs an operation; unmatched paths never fault.
+// OutageBegin/OutageEnd, when End > Begin, additionally schedule one
+// whole-tier outage window (more can be added with Injector.AddOutage).
 type FaultPolicy struct {
-	Seed  int64
-	Rules []FaultRule
+	Seed        int64
+	Rules       []FaultRule
+	OutageBegin time.Duration
+	OutageEnd   time.Duration
 }
 
 // FaultStats counts the faults an Injector has delivered.
@@ -75,17 +98,45 @@ type FaultStats struct {
 	ReadErrors  int
 	ReadSpikes  int
 	WriteSpikes int
+	OutageOps   int // operations rejected because the tier was offline
 }
 
 // Injector is a seeded, stateful storage fault source for one tier.
 type Injector struct {
-	rng    *rand.Rand
-	rules  []FaultRule
-	sticky map[string]bool // path -> previous op faulted; next op is clean
-	Stats  FaultStats
+	rng     *rand.Rand
+	rules   []FaultRule
+	sticky  map[string]bool // path -> previous op faulted; next op is clean
+	outages []OutageWindow
+	Stats   FaultStats
 
 	// Per-tier registry counters (nil until BindMetrics; nil counters no-op).
-	mTorn, mFlips, mReadErrs, mReadSpikes, mWriteSpikes *metrics.Counter
+	mTorn, mFlips, mReadErrs, mReadSpikes, mWriteSpikes, mOutageOps *metrics.Counter
+}
+
+// AddOutage schedules an additional whole-tier outage window on top of any
+// the policy declared.
+func (in *Injector) AddOutage(w OutageWindow) { in.outages = append(in.outages, w) }
+
+// OutageUntil returns the end of the outage window covering virtual time
+// now, and whether one is active. Adjacent or overlapping windows are
+// coalesced by re-checking from the latest end.
+func (in *Injector) OutageUntil(now time.Duration) (time.Duration, bool) {
+	end, active := now, false
+	for changed := true; changed; {
+		changed = false
+		for _, w := range in.outages {
+			if w.covers(end) && w.End > end {
+				end, active, changed = w.End, true, true
+			}
+		}
+	}
+	return end, active
+}
+
+// outageReject records one operation rejected by an active outage window.
+func (in *Injector) outageReject() {
+	in.Stats.OutageOps++
+	in.mOutageOps.Inc()
 }
 
 // BindMetrics registers the injector's fault counters in reg under a "tier"
@@ -105,16 +156,22 @@ func (in *Injector) BindMetrics(reg *metrics.Registry, tier string) {
 		"Injected read latency spikes by storage tier.", "tier", tier)
 	in.mWriteSpikes = reg.CounterL("ftmr_storage_write_spikes",
 		"Injected write latency spikes by storage tier.", "tier", tier)
+	in.mOutageOps = reg.CounterL("ftmr_storage_outage_ops",
+		"Operations rejected by a whole-tier outage window, by storage tier.", "tier", tier)
 }
 
 // NewInjector builds an injector from a policy. Two injectors with the same
 // policy deliver the same fault sequence for the same operation sequence.
 func NewInjector(pol FaultPolicy) *Injector {
-	return &Injector{
+	in := &Injector{
 		rng:    rand.New(rand.NewSource(pol.Seed)),
 		rules:  append([]FaultRule(nil), pol.Rules...),
 		sticky: make(map[string]bool),
 	}
+	if pol.OutageEnd > pol.OutageBegin {
+		in.AddOutage(OutageWindow{Begin: pol.OutageBegin, End: pol.OutageEnd})
+	}
+	return in
 }
 
 // ChaosPolicy is the default policy used by chaos runs: torn writes, silent
@@ -135,6 +192,16 @@ func ChaosPolicy(seed int64) FaultPolicy {
 				ReadSpike: 0.02, SpikeDelay: 2 * time.Millisecond},
 		},
 	}
+}
+
+// ChaosOutagePolicy is ChaosPolicy plus one whole-tier outage window: the
+// per-path fault mix stays byte-identical to ChaosPolicy(seed) (outage checks
+// never touch the RNG), but every charged operation inside [begin, end) fails
+// with ErrTierOutage.
+func ChaosOutagePolicy(seed int64, begin, end time.Duration) FaultPolicy {
+	pol := ChaosPolicy(seed)
+	pol.OutageBegin, pol.OutageEnd = begin, end
+	return pol
 }
 
 // rule returns the first matching rule for a path, or nil.

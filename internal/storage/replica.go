@@ -1,0 +1,54 @@
+package storage
+
+import "sort"
+
+// Replica placement for the diskless in-memory checkpoint tier (ReStore-style,
+// PAPERS.md): each writer pushes its committed checkpoint frames into the
+// memory of k peer ranks so recovery reads can come from a peer's RAM instead
+// of the PFS — faster, and available while a storage tier is offline.
+//
+// Placement is a pure function of (writer, alive set, k): the k ring
+// successors of the writer within the sorted alive set. That makes it
+//
+//   - deterministic: every rank computes the same partners from the same
+//     membership view, with no coordination or RNG;
+//   - shrink-stable: after ranks die, the ring re-closes over the survivors
+//     and every writer still gets min(k, len(alive)-1) distinct partners;
+//   - self-free: a writer never replicates to itself (a replica in the
+//     writer's own memory dies with the writer and protects nothing).
+
+// ReplicaPartners returns the ranks that hold writer's in-memory checkpoint
+// replicas: the k ring successors of writer among the sorted alive ranks,
+// excluding writer itself. The alive slice is not mutated. If writer is not
+// in alive (it just died, or membership lags), successors are taken from
+// writer's insertion point, so survivors agree on the dead rank's partners.
+// Returns nil when k <= 0 or no other rank is alive.
+func ReplicaPartners(writer int, alive []int, k int) []int {
+	if k <= 0 || len(alive) == 0 {
+		return nil
+	}
+	ring := append([]int(nil), alive...)
+	sort.Ints(ring)
+	// Drop duplicates and the writer itself; find the insertion point.
+	dst := 0
+	for _, r := range ring {
+		if r == writer || (dst > 0 && ring[dst-1] == r) {
+			continue
+		}
+		ring[dst] = r
+		dst++
+	}
+	ring = ring[:dst]
+	if len(ring) == 0 {
+		return nil
+	}
+	if k > len(ring) {
+		k = len(ring)
+	}
+	start := sort.SearchInts(ring, writer)
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, ring[(start+i)%len(ring)])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestReplicaPartnersProperties drives ReplicaPartners through 50 seeded
+// worlds that shrink one rank at a time, pinning the placement contract:
+// deterministic (input order and repetition never change the answer), full
+// k-coverage (min(k, alive-1) distinct partners, all alive) after every
+// shrink, and no rank ever replicating to itself.
+func TestReplicaPartnersProperties(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(63)
+		k := 1 + rng.Intn(4)
+		alive := make([]int, n)
+		for i := range alive {
+			alive[i] = i
+		}
+		for len(alive) > 0 {
+			for _, w := range alive {
+				got := ReplicaPartners(w, alive, k)
+				// Determinism: a second call and a shuffled alive slice
+				// must produce the identical partner list.
+				shuf := append([]int(nil), alive...)
+				rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+				if again := ReplicaPartners(w, shuf, k); !reflect.DeepEqual(got, again) {
+					t.Fatalf("seed %d n=%d k=%d writer %d: placement depends on input order: %v vs %v",
+						seed, n, k, w, got, again)
+				}
+				want := k
+				if want > len(alive)-1 {
+					want = len(alive) - 1
+				}
+				if len(got) != want {
+					t.Fatalf("seed %d writer %d alive=%d k=%d: %d partners, want %d",
+						seed, w, len(alive), k, len(got), want)
+				}
+				seen := map[int]bool{}
+				aliveSet := map[int]bool{}
+				for _, a := range alive {
+					aliveSet[a] = true
+				}
+				for _, p := range got {
+					if p == w {
+						t.Fatalf("seed %d: writer %d replicates to itself: %v", seed, w, got)
+					}
+					if seen[p] {
+						t.Fatalf("seed %d: writer %d has duplicate partner %d: %v", seed, w, p, got)
+					}
+					if !aliveSet[p] {
+						t.Fatalf("seed %d: writer %d placed on dead rank %d: %v", seed, w, p, got)
+					}
+					seen[p] = true
+				}
+			}
+			// A dead writer's partners (as survivors compute them while
+			// adopting its streams) must also be alive and exclude it.
+			dead := alive[rng.Intn(len(alive))]
+			alive = append(alive[:0:0], alive...)
+			for i, a := range alive {
+				if a == dead {
+					alive = append(alive[:i], alive[i+1:]...)
+					break
+				}
+			}
+			for _, p := range ReplicaPartners(dead, alive, k) {
+				if p == dead {
+					t.Fatalf("seed %d: dead writer %d still placed on itself", seed, dead)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaPartnersEdgeCases pins the degenerate inputs.
+func TestReplicaPartnersEdgeCases(t *testing.T) {
+	if got := ReplicaPartners(0, []int{0}, 2); got != nil {
+		t.Fatalf("lone rank got partners %v", got)
+	}
+	if got := ReplicaPartners(3, []int{3, 7}, 0); got != nil {
+		t.Fatalf("k=0 got partners %v", got)
+	}
+	if got := ReplicaPartners(1, []int{0, 1, 2}, 10); !reflect.DeepEqual(got, []int{2, 0}) {
+		t.Fatalf("k clamp: got %v, want [2 0]", got)
+	}
+	// Wrap-around: the highest rank's successors restart at the lowest.
+	if got := ReplicaPartners(9, []int{1, 5, 9}, 2); !reflect.DeepEqual(got, []int{1, 5}) {
+		t.Fatalf("wrap: got %v, want [1 5]", got)
+	}
+}

@@ -23,9 +23,15 @@ type Tier struct {
 	IOPS   *vtime.Bandwidth
 	Prefix string // namespace prefix prepended to all paths
 	// Faults, when non-nil, injects seeded storage faults (torn writes, bit
-	// flips, transient read errors) into the charged operations. Uncosted
-	// metadata helpers (Peek, Exists, Size, ...) are never faulted.
+	// flips, transient read errors, whole-tier outages) into the charged
+	// operations. Uncosted metadata helpers (Exists, Size, List, ...) are
+	// never faulted; Peek is charge- and per-path-fault-exempt but DOES
+	// observe outage windows (see Peek).
 	Faults *Injector
+	// Clock, when set, supplies the current virtual time to operations that
+	// have no *vtime.Proc in hand (Peek). Cluster construction wires it to
+	// the simulator; without it Peek cannot observe outage windows.
+	Clock func() time.Duration
 }
 
 // NewTier creates a tier over fs with the given bandwidth resource,
@@ -35,6 +41,32 @@ func NewTier(name string, fs *FS, bw *vtime.Bandwidth, opLat time.Duration, pref
 }
 
 func (t *Tier) path(p string) string { return t.Prefix + p }
+
+// outage reports whether the tier is inside an outage window at the calling
+// process's current virtual time. Checked before any fault-rule roll so
+// outage windows never perturb the seeded per-path fault sequences.
+func (t *Tier) outage(p *vtime.Proc) bool {
+	if t.Faults == nil {
+		return false
+	}
+	if _, active := t.Faults.OutageUntil(p.Now()); active {
+		t.Faults.outageReject()
+		return true
+	}
+	return false
+}
+
+// AwaitOnline blocks the calling process until any active outage window on
+// this tier ends. A no-op on a healthy tier, so callers can retry
+// unconditionally after an ErrTierOutage.
+func (t *Tier) AwaitOnline(p *vtime.Proc) {
+	if t.Faults == nil {
+		return
+	}
+	if end, active := t.Faults.OutageUntil(p.Now()); active {
+		p.Sleep(end - p.Now())
+	}
+}
 
 // Charge bills the calling process for ops operations moving bytes bytes,
 // without touching the namespace. It returns the virtual time spent, which
@@ -63,6 +95,9 @@ func (t *Tier) Charge(p *vtime.Proc, ops int, bytes int) time.Duration {
 // silent bit flip, or cost a latency spike; either way the returned
 // duration was genuinely spent.
 func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) (time.Duration, error) {
+	if t.outage(p) {
+		return t.Charge(p, 1, 0), ErrTierOutage
+	}
 	var ferr error
 	var spike time.Duration
 	if t.Faults != nil {
@@ -81,6 +116,9 @@ func (t *Tier) WriteFile(p *vtime.Proc, path string, data []byte) (time.Duration
 // injection the appended bytes may be a torn prefix (reported via
 // ErrTornWrite) or carry a silent bit flip.
 func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) (time.Duration, error) {
+	if t.outage(p) {
+		return t.Charge(p, 1, 0), ErrTierOutage
+	}
 	var ferr error
 	var spike time.Duration
 	if t.Faults != nil {
@@ -98,6 +136,9 @@ func (t *Tier) AppendFile(p *vtime.Proc, path string, data []byte, ops int) (tim
 // Under fault injection it may fail with a transient ErrReadFault; a retry
 // of the same path succeeds (and is charged again).
 func (t *Tier) ReadFile(p *vtime.Proc, path string) ([]byte, time.Duration, error) {
+	if t.outage(p) {
+		return nil, t.Charge(p, 1, 0), ErrTierOutage
+	}
 	var spike time.Duration
 	if t.Faults != nil {
 		delay, err := t.Faults.onRead(path)
@@ -122,8 +163,22 @@ func (t *Tier) Exists(path string) bool { return t.FS.Exists(t.path(path)) }
 
 // Peek returns a file's contents without charging any cost. Callers that
 // model a non-standard access pattern read with Peek and account the cost
-// explicitly via Charge.
-func (t *Tier) Peek(path string) ([]byte, error) { return t.FS.Read(t.path(path)) }
+// explicitly via Charge. Peek is deliberately exempt from the per-path fault
+// rules (it is a repair/inspection primitive: quarantine and the copier must
+// be able to examine exactly what landed, and injecting transient faults here
+// would double-fault hardened callers that already rolled on the charged
+// read) — but it is NOT exempt from whole-tier outages: an offline tier's
+// contents are unreachable by any path, so Peek fails with ErrTierOutage
+// while a window is active (when the tier has a Clock to observe time with).
+func (t *Tier) Peek(path string) ([]byte, error) {
+	if t.Faults != nil && t.Clock != nil {
+		if _, active := t.Faults.OutageUntil(t.Clock()); active {
+			t.Faults.outageReject()
+			return nil, ErrTierOutage
+		}
+	}
+	return t.FS.Read(t.path(path))
+}
 
 // Size returns the size of path (no cost).
 func (t *Tier) Size(path string) int { return t.FS.Size(t.path(path)) }

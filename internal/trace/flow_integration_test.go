@@ -8,9 +8,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
+	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/failure"
 	"ftmrmpi/internal/trace"
+	"ftmrmpi/internal/workloads"
 )
 
 // TestChromeFlowArrowsWordcountFailover checks the flow-event view: every
@@ -106,6 +110,76 @@ func TestFlowInvariantsWordcountFailover(t *testing.T) {
 	}
 	t.Logf("flows: %d sends, %d recvs, %d matched, %d unmatched (eager), %d zero-id recvs",
 		fr.Sends, fr.Recvs, fr.Matched, fr.UnmatchedSends, fr.ZeroRecvs)
+}
+
+// TestReplicaPushFlowsPairUp turns on the diskless replica tier and checks
+// that its push traffic rides the same message-id flow machinery as every
+// other message: replica-tagged send.end events appear in the trace, the
+// flow invariants hold for the whole run, and at least one replica push is
+// matched to a recv.end on the partner rank (drained pushes consume the
+// banked message through the normal recv path). Unmatched replica sends are
+// legal — pushes still banked in a mailbox when the job ends, or discarded
+// by a shrink — but they must be unmatched sends, never violations.
+func TestReplicaPushFlowsPairUp(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.Nodes = 2
+	cfg.PPN = 4
+	clus := cluster.New(cfg)
+	clus.Trace = trace.New(clus.Sim, 1<<20)
+
+	p := workloads.DefaultWordcount()
+	p.Chunks = 32
+	p.Lines = 32
+	p.WordsLine = 4
+	p.Vocab = 500
+	workloads.GenCorpus(clus, "in/rjob", p)
+
+	spec := workloads.WordcountSpec("rjob", "in/rjob", 8, p)
+	spec.Model = core.ModelDetectResumeWC
+	spec.CkptInterval = 25
+	spec.LoadBalance = true
+	spec.ReplicaK = 2
+
+	h := core.RunSingle(clus, spec)
+	failure.KillOnPhase(h, 5, core.PhaseReduce, time.Millisecond)
+	clus.Sim.Run()
+	if res := h.Result(); res == nil || res.Aborted {
+		t.Fatalf("replica failover job did not complete: %+v", res)
+	}
+
+	evs := clus.Trace.Events()
+	fr := trace.CheckFlows(evs)
+	if !fr.OK() {
+		t.Fatalf("flow invariants violated with replica pushes: %v", fr.Violations)
+	}
+
+	// Replica pushes carry tags at or above the core replica tag base
+	// (1<<20), keeping them distinct from shuffle/status/exchange traffic.
+	const tagReplicaBase = 1 << 20
+	recvFlows := make(map[uint64]bool)
+	for _, ev := range evs {
+		if ev.Kind == trace.KindRecvEnd && ev.Flow != 0 {
+			recvFlows[ev.Flow] = true
+		}
+	}
+	pushes, matched := 0, 0
+	for _, ev := range evs {
+		if ev.Kind != trace.KindSendEnd || ev.B < tagReplicaBase {
+			continue
+		}
+		pushes++
+		if recvFlows[ev.Flow] {
+			matched++
+		}
+	}
+	if pushes == 0 {
+		t.Fatal("no replica-tagged send.end events: replica traffic is invisible to the tracer")
+	}
+	if matched == 0 {
+		t.Fatalf("none of %d replica pushes matched a recv.end; drains never consume them", pushes)
+	}
+	t.Logf("replica pushes: %d sent, %d matched (%d still banked/lost)",
+		pushes, matched, pushes-matched)
 }
 
 // TestDiffIdenticalRunsZeroDivergence is the determinism cross-check behind

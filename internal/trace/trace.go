@@ -127,42 +127,49 @@ const (
 	// serialization. Synthesized by WriteJSONL (never recorded live) so file
 	// consumers can tell a truncated DAG from a complete one.
 	KindDrops
+
+	// Recovery read-path source attribution: one checkpoint stream read was
+	// satisfied during recovery. Name = the source that won the failover
+	// chain ("replica-local", "replica-peer" or "pfs"), A = bytes read,
+	// B = frames replayed.
+	KindRecoverySource
 )
 
 var kindNames = map[Kind]string{
-	KindPhaseBegin:    "phase.begin",
-	KindPhaseEnd:      "phase.end",
-	KindSendBegin:     "send.begin",
-	KindSendEnd:       "send.end",
-	KindRecvBegin:     "recv.begin",
-	KindRecvEnd:       "recv.end",
-	KindCollBegin:     "coll.begin",
-	KindCollEnd:       "coll.end",
-	KindCkptCommit:    "ckpt.commit",
-	KindCopierDrain:   "copier.drain",
-	KindCkptLoad:      "ckpt.load",
-	KindFailureInject: "failure.inject",
-	KindFailureKill:   "failure.kill",
-	KindFailureDetect: "failure.detect",
-	KindRevoke:        "revoke",
-	KindShrinkBegin:   "shrink.begin",
-	KindShrinkEnd:     "shrink.end",
-	KindAgreeBegin:    "agree.begin",
-	KindAgreeEnd:      "agree.end",
-	KindLoadBalance:   "lb.decision",
-	KindTaskCommit:    "task.commit",
-	KindRecoveryBegin: "recovery.begin",
-	KindRecoveryEnd:   "recovery.end",
-	KindCkptCorrupt:   "ckpt.corrupt",
-	KindLBFit:         "lb.fit",
-	KindCopierBegin:   "copier.begin",
-	KindCopierEnd:     "copier.end",
-	KindSlowRank:      "failure.slow",
-	KindJobBegin:      "job.begin",
-	KindJobEnd:        "job.end",
-	KindRecoveryStage: "recovery.stage",
-	KindCkptStall:     "ckpt.stall",
-	KindDrops:         "trace.drops",
+	KindPhaseBegin:     "phase.begin",
+	KindPhaseEnd:       "phase.end",
+	KindSendBegin:      "send.begin",
+	KindSendEnd:        "send.end",
+	KindRecvBegin:      "recv.begin",
+	KindRecvEnd:        "recv.end",
+	KindCollBegin:      "coll.begin",
+	KindCollEnd:        "coll.end",
+	KindCkptCommit:     "ckpt.commit",
+	KindCopierDrain:    "copier.drain",
+	KindCkptLoad:       "ckpt.load",
+	KindFailureInject:  "failure.inject",
+	KindFailureKill:    "failure.kill",
+	KindFailureDetect:  "failure.detect",
+	KindRevoke:         "revoke",
+	KindShrinkBegin:    "shrink.begin",
+	KindShrinkEnd:      "shrink.end",
+	KindAgreeBegin:     "agree.begin",
+	KindAgreeEnd:       "agree.end",
+	KindLoadBalance:    "lb.decision",
+	KindTaskCommit:     "task.commit",
+	KindRecoveryBegin:  "recovery.begin",
+	KindRecoveryEnd:    "recovery.end",
+	KindCkptCorrupt:    "ckpt.corrupt",
+	KindLBFit:          "lb.fit",
+	KindCopierBegin:    "copier.begin",
+	KindCopierEnd:      "copier.end",
+	KindSlowRank:       "failure.slow",
+	KindJobBegin:       "job.begin",
+	KindJobEnd:         "job.end",
+	KindRecoveryStage:  "recovery.stage",
+	KindCkptStall:      "ckpt.stall",
+	KindDrops:          "trace.drops",
+	KindRecoverySource: "recovery.source",
 }
 
 // String returns the kind's stable wire name (e.g. "phase.begin"), as used
@@ -497,6 +504,15 @@ func (r *Recorder) RecoveryStage(stage string, d time.Duration) {
 		return
 	}
 	r.emit(KindRecoveryStage, stage, int64(d), 0, 0)
+}
+
+// RecoverySource marks one recovery-time checkpoint stream read and the
+// tier that satisfied it: source is "replica-local" (the rank's own
+// in-memory replica store), "replica-peer" (frames pushed back by a replica
+// partner) or "pfs" (durable restore). The per-source counts drive the
+// ftmr_recovery_reads{source} counters and the abl-restore ablation.
+func (r *Recorder) RecoverySource(source string, bytes, frames int) {
+	r.emit(KindRecoverySource, source, int64(bytes), int64(frames), 0)
 }
 
 // CkptStall attributes d of main-thread blocking to checkpoint I/O

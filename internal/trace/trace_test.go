@@ -305,7 +305,8 @@ func TestTracerOverheadGate(t *testing.T) {
 // recorder call must cost a single branch (plus call overhead when not
 // inlined). Compare with BenchmarkTracerOverheadEnabled. The mix includes
 // the critical-path instrumentation (attribution stages, checkpoint stalls,
-// stamped collectives) so new call sites stay inside the same gate.
+// stamped collectives) and the recovery-source attribution so new call
+// sites stay inside the same gate.
 func BenchmarkTracerOverheadDisabled(b *testing.B) {
 	var rec *Recorder
 	b.ReportAllocs()
@@ -316,6 +317,7 @@ func BenchmarkTracerOverheadDisabled(b *testing.B) {
 		rec.CkptStall("write", time.Millisecond)
 		rec.CollBeginN("barrier", 1, i)
 		rec.CollEndN("barrier", 1, i)
+		rec.RecoverySource("pfs", 64, 1)
 	}
 }
 
@@ -334,5 +336,6 @@ func BenchmarkTracerOverheadEnabled(b *testing.B) {
 		rec.CkptStall("write", time.Millisecond)
 		rec.CollBeginN("barrier", 1, i)
 		rec.CollEndN("barrier", 1, i)
+		rec.RecoverySource("pfs", 64, 1)
 	}
 }
