@@ -6,9 +6,9 @@ GO ?= go
 # the tracer- and metrics-overhead benchmarks that keep the disabled
 # instrumentation paths at one-branch cost, and the ftmr-trace, ftmr-metrics
 # and critical-path fixture self-tests.
-.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest bench
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest bench
 
-check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest
+check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,7 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 5s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeState$$' -fuzztime 5s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeShadowSync$$' -fuzztime 5s
 
 # Runs the raw benchmarks for eyeballing, then the hard gates: the tests
 # fail if a disabled tracer or metrics path allocates or regresses past
@@ -84,6 +85,13 @@ critpath-selftest: build-cmds
 # fault-free baseline.
 replica-selftest:
 	$(GO) test ./internal/failure -run '^TestReplicaOutageChaosMatchesBaseline$$' -v
+
+# Replication execution-model self-test: 30 seeded chaos runs under
+# -ft-model=replicate, rotating kills over primaries, shadows, and both
+# members of one pair (forcing the checkpoint fallback); every run must
+# finish with output bytes identical to the failure-free baseline.
+ftmodel-selftest:
+	$(GO) test ./internal/failure -run '^TestFTModelChaosMatchesBaseline$$' -v
 
 # Regenerates the committed evaluation results: the human-readable tables
 # and the machine-readable trajectory document, from one run (so the two

@@ -83,6 +83,8 @@ func main() {
 		chaosWin  = flag.Duration("chaos-window", 2*time.Second, "virtual-time window for chaos kills")
 		stFaults  = flag.Bool("storage-faults", false, "inject seeded storage faults (torn writes, bit flips, read errors, latency spikes)")
 		replicaK  = flag.Int("replica-k", 0, "diskless replica tier: push checkpoint frames to k ring-successor peers (0 disables)")
+		ftModel   = flag.String("ft-model", "cr", "replication execution model: cr | replicate | partial (replicate/partial require -model wc or nwc)")
+		repFrac   = flag.Float64("replica-fraction", 0, "fraction of primary slots given a shadow under -ft-model=partial (0: default 0.5)")
 		outage    = flag.String("outage", "", `PFS whole-tier outage window as "begin,end" virtual-time durations (e.g. "100ms,400ms")`)
 		streamTo  = flag.String("trace-stream", "", "stream JSONL events (write-through) to this file during the run")
 		critOut   = flag.String("critpath-out", "", "write the critical-path report to this file (enables tracing)")
@@ -119,6 +121,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	ftm, err := core.ParseFTModel(*ftModel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	clus := func() *cluster.Cluster {
 		cfg := cluster.Default()
@@ -150,12 +157,14 @@ func main() {
 	}
 
 	base := core.Spec{
-		Model:        m,
-		CkptInterval: *interval,
-		Prefetch:     *prefetch,
-		LoadBalance:  true,
-		LBModel:      lbm,
-		ReplicaK:     *replicaK,
+		Model:           m,
+		CkptInterval:    *interval,
+		Prefetch:        *prefetch,
+		LoadBalance:     true,
+		LBModel:         lbm,
+		ReplicaK:        *replicaK,
+		FTModel:         ftm,
+		ReplicaFraction: *repFrac,
 	}
 	if *gran == "chunk" {
 		base.Granularity = core.GranChunk
@@ -173,6 +182,7 @@ func main() {
 		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
 		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
 		spec.LBModel, spec.ReplicaK = base.LBModel, base.ReplicaK
+		spec.FTModel, spec.ReplicaFraction = base.FTModel, base.ReplicaFraction
 		h = core.RunSingle(clus, spec)
 	case "blast":
 		p := workloads.DefaultBlast()
@@ -181,6 +191,7 @@ func main() {
 		spec.Model, spec.CkptInterval, spec.Granularity = base.Model, base.CkptInterval, base.Granularity
 		spec.CkptLocation, spec.Prefetch, spec.LoadBalance = base.CkptLocation, base.Prefetch, true
 		spec.LBModel, spec.ReplicaK = base.LBModel, base.ReplicaK
+		spec.FTModel, spec.ReplicaFraction = base.FTModel, base.ReplicaFraction
 		h = core.RunSingle(clus, spec)
 	case "pagerank":
 		p := workloads.DefaultPageRank()

@@ -292,6 +292,10 @@ func cmdFlows(args []string) int {
 
 	fr := trace.CheckFlows(events)
 	fmt.Printf("%s: %d sends, %d recvs, %d matched flows\n", fs.Arg(0), fr.Sends, fr.Recvs, fr.Matched)
+	if fr.MirroredSends > 0 {
+		fmt.Printf("  %d mirrored sends (shadow-fed duplicates under -ft-model=replicate are expected)\n",
+			fr.MirroredSends)
+	}
 	if fr.UnmatchedSends > 0 {
 		fmt.Printf("  %d unmatched sends (eager sends to dead ranks are legal under failure injection)\n",
 			fr.UnmatchedSends)

@@ -43,7 +43,8 @@ func TestLookupKnownAndUnknown(t *testing.T) {
 func TestAllFiguresRegistered(t *testing.T) {
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"abl-lb", "abl-gossip", "abl-queue", "abl-combiner", "abl-lb-trace", "abl-restore"}
+		"abl-lb", "abl-gossip", "abl-queue", "abl-combiner", "abl-lb-trace", "abl-restore",
+		"abl-ftmodel"}
 	figs := Figures()
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures registered, want %d", len(figs), len(want))
@@ -123,6 +124,32 @@ func TestFigureShapes(t *testing.T) {
 			if strings.Contains(n, "FAIL") {
 				t.Fatalf("slo gate breached: %v", tab.Notes)
 			}
+		}
+	})
+
+	t.Run("abl-ftmodel-crossover", func(t *testing.T) {
+		tab := ablFTModel(s)
+		if len(tab.Rows) != 4 {
+			t.Fatalf("rows: %v", tab.Rows)
+		}
+		ratioAt := func(i int) float64 {
+			r, err := strconv.ParseFloat(tab.Rows[i][4], 64)
+			if err != nil {
+				t.Fatalf("bad row %v: %v", tab.Rows[i], err)
+			}
+			return r
+		}
+		// Failure-free, replication's capacity tax must show: cr wins.
+		if ratioAt(0) <= 1.0 {
+			t.Fatalf("replicate beat cr with zero failures (ratio %v); the capacity tax vanished", tab.Rows[0])
+		}
+		// At the top of the sweep the accumulated abort+resubmit+replay cost
+		// must cross above the fixed tax: replicate wins.
+		if ratioAt(3) >= 1.0 {
+			t.Fatalf("cr beat replicate at 4 kills (ratio %v); no crossover", tab.Rows[3])
+		}
+		if tab.Rows[0][5] != "cr" || tab.Rows[3][5] != "replicate" {
+			t.Fatalf("winner columns inconsistent: %v / %v", tab.Rows[0], tab.Rows[3])
 		}
 	})
 

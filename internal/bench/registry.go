@@ -35,6 +35,7 @@ func Figures() []Figure {
 		{"abl-combiner", ablCombiner, "ablation: local pre-reduction (compress) before the shuffle"},
 		{"abl-lb-trace", ablLBTrace, "ablation: static vs trace-driven balancing under an injected straggler"},
 		{"abl-restore", ablRestore, "ablation: peer-replica restore vs PFS-only recovery under repeated kills"},
+		{"abl-ftmodel", ablFTModel, "ablation: replication (-ft-model=replicate) vs checkpoint/restart cost crossover"},
 	}
 }
 

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"ftmrmpi/internal/vtime"
@@ -63,6 +64,56 @@ func (m Model) String() string {
 // Checkpointing reports whether the model writes checkpoints.
 func (m Model) Checkpointing() bool {
 	return m == ModelCheckpointRestart || m == ModelDetectResumeWC
+}
+
+// FTModel selects the execution model along the replication axis — an axis
+// orthogonal to Model (how failures are detected and masked): FTModelCR
+// runs every rank as a primary and relies on checkpoints alone, while the
+// replicate/partial modes dedicate part of the world to shadow ranks that
+// mirror a primary's task stream and take over on failure with no replay
+// and no PFS read (FTHP-MPI / PartRePer-MPI style).
+type FTModel int
+
+const (
+	// FTModelCR is the checkpoint-only execution model: all ranks are
+	// primaries. The zero value, and byte-identical to the behaviour that
+	// predates the replication axis.
+	FTModelCR FTModel = iota
+	// FTModelReplicate gives every primary slot a shadow rank: the world is
+	// split in half, shadows mirror their primary's map/convert/reduce
+	// stream and receive shadow-mirrored shuffle copies, and a primary
+	// failure promotes the shadow in place.
+	FTModelReplicate
+	// FTModelPartial replicates only Spec.ReplicaFraction of the primary
+	// slots (PartRePer-style): failures of replicated slots fail over to
+	// their shadows; the rest fall back to the checkpoint path.
+	FTModelPartial
+)
+
+func (m FTModel) String() string {
+	switch m {
+	case FTModelReplicate:
+		return "replicate"
+	case FTModelPartial:
+		return "partial"
+	}
+	return "cr"
+}
+
+// Replicating reports whether the model dedicates shadow ranks.
+func (m FTModel) Replicating() bool { return m == FTModelReplicate || m == FTModelPartial }
+
+// ParseFTModel parses the -ft-model flag value.
+func ParseFTModel(s string) (FTModel, error) {
+	switch s {
+	case "", "cr":
+		return FTModelCR, nil
+	case "replicate":
+		return FTModelReplicate, nil
+	case "partial":
+		return FTModelPartial, nil
+	}
+	return 0, fmt.Errorf("unknown ft-model %q (cr|replicate|partial)", s)
 }
 
 // Granularity selects how much work one checkpoint covers (§4.1.2).
@@ -263,6 +314,18 @@ type Spec struct {
 	// replication, keeping runs byte-identical to pre-replica behaviour.
 	// Only meaningful for checkpointing models.
 	ReplicaK int
+
+	// FTModel selects the replication execution model (-ft-model). The zero
+	// value FTModelCR keeps every rank a primary and is byte-identical to
+	// pre-replication behaviour; FTModelReplicate/FTModelPartial dedicate
+	// shadow ranks that mirror primaries and fail over without replay.
+	// Replication requires a detect/resume Model (the failover happens
+	// inside the ULFM recovery round).
+	FTModel FTModel
+
+	// ReplicaFraction is the fraction of primary slots that get a shadow
+	// under FTModelPartial (default 0.5). FTModelReplicate pins it to 1.
+	ReplicaFraction float64
 }
 
 // withDefaults fills zero fields.
@@ -278,6 +341,24 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.JobID == "" {
 		s.JobID = s.Name
+	}
+	switch s.FTModel {
+	case FTModelReplicate:
+		s.ReplicaFraction = 1
+	case FTModelPartial:
+		if s.ReplicaFraction <= 0 || s.ReplicaFraction > 1 {
+			s.ReplicaFraction = 0.5
+		}
+	default:
+		s.ReplicaFraction = 0
+	}
+	if s.FTModel.Replicating() {
+		// The diskless replica tier and the replication execution model are
+		// separate mechanisms; mixing them would give checkpointing primaries
+		// replica partners that the non-checkpointing shadows lack, breaking
+		// the replica exchange's collective barrier. Shadows already mirror
+		// everything the replica tier would hold.
+		s.ReplicaK = 0
 	}
 	return s
 }

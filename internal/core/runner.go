@@ -87,6 +87,7 @@ type runner struct {
 	cp           *copier
 	rd           *ckptReader
 	rep          *replicator // nil when Spec.ReplicaK == 0
+	ftm          *ftState    // nil unless a replication execution model is active
 	lb           lbAgent
 	backlogBytes float64 // bytes of input work remaining (for balancing)
 
@@ -130,11 +131,18 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		outLen:     make(map[int]uint64),
 		statusTag:  tagStatusBase + j.jobIdx,
 	}
+	if ftm := newFTState(j, c, spec); ftm != nil {
+		// Replication execution model: only the primary slots partition the
+		// key space; shadows mirror a slot and own nothing.
+		r.ftm = ftm
+		r.nParts = len(ftm.acting)
+		r.partOwner = append([]int(nil), ftm.acting...)
+	}
 	r.lb.kind = spec.LBModel
 	clus := j.clus
 	local := clus.LocalOf(c.Self().WorldRank())
 	r.ck = &ckptWriter{
-		enabled: spec.Model.Checkpointing(),
+		enabled: spec.Model.Checkpointing() && (r.ftm == nil || !r.ftm.mirror),
 		jobID:   spec.JobID,
 		loc:     spec.CkptLocation,
 		local:   local,
@@ -147,7 +155,9 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 	if local == nil {
 		r.ck.loc = LocDirectPFS
 	}
-	if r.ck.enabled && r.ck.loc == LocLocalCopier {
+	// Shadows start with writes disabled but may be promoted mid-job, so the
+	// copier thread is started whenever the model checkpoints at all.
+	if spec.Model.Checkpointing() && r.ck.loc == LocLocalCopier {
 		r.cp = startCopier(clus.Sim, fmt.Sprintf("copier-r%d-%s", c.Self().WorldRank(), spec.JobID),
 			spec.JobID, local, clus.PFS, c.Self().CPU(), m)
 		r.cp.rec = r.rec
@@ -234,6 +244,11 @@ func (r *runner) run() error {
 			// push has been delivered to this rank's mailbox.
 			r.rep.drain()
 		}
+		if r.ftm != nil && r.ftm.mirror {
+			// Same boundary guarantee for the primary's reduce-progress
+			// sync pushes.
+			r.drainShadowSync()
+		}
 		r.phase++
 	}
 	return nil
@@ -257,9 +272,14 @@ func (r *runner) phaseInit() error {
 	tasks := listChunks(paths, clus.PFS.Size)
 	r.tt = newTaskTable(tasks, r.nParts)
 	// Remap initial owners onto the participating world ranks (the hash
-	// assigns 0..n-1 slots; world0 maps slots to actual ranks).
+	// assigns 0..n-1 slots; world0 maps slots to actual ranks — or, under a
+	// replication model, the acting primaries map slots to ranks).
 	for i := range r.tt.owner {
-		r.tt.owner[i] = r.world0[r.tt.owner[i]%len(r.world0)]
+		if r.ftm != nil {
+			r.tt.owner[i] = r.ftm.acting[r.tt.owner[i]%len(r.ftm.acting)]
+		} else {
+			r.tt.owner[i] = r.world0[r.tt.owner[i]%len(r.world0)]
+		}
 	}
 	// Metadata traversal: one PFS op per 64 chunks.
 	r.m.IOWait += clus.PFS.Charge(r.p, len(tasks)/64+1, 0)
@@ -298,6 +318,9 @@ func (e *kvEmitter) Emit(k, v []byte) {
 
 // phaseMap runs every map task this rank currently owns (Algorithm 1).
 func (r *runner) phaseMap() error {
+	if r.ftm != nil && r.ftm.mirror {
+		return r.mirrorMap()
+	}
 	mapper := r.spec.NewMapper()
 	reader := r.spec.NewReader()
 	for {
@@ -536,7 +559,12 @@ func (r *runner) injectKV(kv *kvbuf.KV) {
 // adopted reports whether a task has been reassigned away from its hash
 // home (i.e. its original owner failed).
 func (r *runner) adopted(taskID int) bool {
-	home := r.world0[assignTask(taskID, r.nParts)%len(r.world0)]
+	var home int
+	if r.ftm != nil {
+		home = r.ftm.acting0[assignTask(taskID, r.nParts)%len(r.ftm.acting0)]
+	} else {
+		home = r.world0[assignTask(taskID, r.nParts)%len(r.world0)]
+	}
 	return r.tt.owner[taskID] != home
 }
 
@@ -579,6 +607,9 @@ func (r *runner) drainStatus() {
 // phaseShuffle exchanges the partitioned map output so each partition's
 // owner holds all its pairs, then checkpoints the received buffers.
 func (r *runner) phaseShuffle() error {
+	if r.ftm != nil {
+		return r.shuffleReplicate()
+	}
 	// If every rank restored its partitions from checkpoints (restart after
 	// a reduce-phase failure), the exchange can be skipped — agreement by
 	// allreduce-min.
@@ -762,6 +793,9 @@ func (r *runner) ownedParts() []int {
 // configured algorithm, charging the algorithm's real data movement against
 // the local scratch disk (§5.2).
 func (r *runner) phaseConvert() error {
+	if r.ftm != nil && r.ftm.mirror {
+		return r.mirrorConvert()
+	}
 	clus := r.job.clus
 	scratch := clus.LocalOf(r.myWorld())
 	if scratch == nil {
@@ -822,6 +856,9 @@ func outputPath(jobID string, part int) string {
 // phaseReduce runs the user reduce function over each owned partition's
 // groups, committing progress (and output) every CkptInterval groups.
 func (r *runner) phaseReduce() error {
+	if r.ftm != nil && r.ftm.mirror {
+		return r.mirrorReduce()
+	}
 	reducer := r.spec.NewReducer()
 	clus := r.job.clus
 	ctx := &TaskContext{proc: r.p, run: r}
@@ -886,6 +923,7 @@ func (r *runner) phaseReduce() error {
 			}
 			r.rec.TaskCommit("reduce", part, int64(g))
 			r.cm.taskCommit()
+			r.pushShadowSync(part, g)
 			return nil
 		}
 		for {
@@ -979,6 +1017,15 @@ func (r *runner) recoverDR(retry bool) (err error) {
 	newGroup := r.currentGroup()
 	failed := diffRanks(oldGroup, newGroup)
 	r.job.noteFailed(failed)
+
+	// Replication failover happens here — after the shrink agreed on the
+	// failed set, before claims are exchanged. Pure local compute on every
+	// survivor (promotion edits only this rank's claims), so an interrupting
+	// failure can never leave survivors with diverged pairings: the retry
+	// re-applies promotion for the larger failed set idempotently.
+	if err := r.ftPromote(failed); err != nil {
+		return err
+	}
 
 	// Exchange survivor state and merge the global task table (§3.3: the
 	// masters' globally consistent state is what recovery is built on).
@@ -1075,7 +1122,12 @@ func (r *runner) recoverDR(retry bool) (err error) {
 	wc := r.spec.Model == ModelDetectResumeWC
 	pfs := r.job.clus.PFS
 
-	if r.phaseAtLeast(minPhase, phShuffle) && len(lostPending) == 0 {
+	if r.pureFailover(lost, lostPending, lostDone) {
+		// Replication failover covered everything the dead ranks held: the
+		// promoted shadows claimed their pairs' tasks and partitions from
+		// their own memory, so nothing is lost — no reassignment, no replay,
+		// no PFS restore, and no phase rewind beyond the survivors' minimum.
+	} else if r.phaseAtLeast(minPhase, phShuffle) && len(lostPending) == 0 {
 		// Post-shuffle failure: partition data was lost from memory. With
 		// checkpoints (WC) it is restored from a replica or the PFS; without
 		// (NWC), or if a partition's snapshot survives nowhere, the map
@@ -1222,6 +1274,11 @@ func (r *runner) reassign(lost []int, models []lbModel, weight func(int) float64
 	}
 	for surv, pieceIdxs := range assignment {
 		w := r.comm.WorldRank(surv)
+		if r.ftm != nil {
+			// Never park partitions on a dedicated mirror; its acting
+			// primary owns them and the mirror follows.
+			w = r.ftm.redirectToActing(w)
+		}
 		for _, pi := range pieceIdxs {
 			r.partOwner[lost[pi]] = w
 		}
@@ -1253,6 +1310,11 @@ func (r *runner) redistributeTasks(lostIDs []int, models []lbModel, restorable b
 	}
 	for surv, pieceIdxs := range assignment {
 		w := r.comm.WorldRank(surv)
+		if r.ftm != nil {
+			// Tasks land on acting primaries; mirrors re-execute them by
+			// mirroring their pair, never as owners.
+			w = r.ftm.redirectToActing(w)
+		}
 		for _, pi := range pieceIdxs {
 			r.tt.owner[lostIDs[pi]] = w
 			if w == r.myWorld() {

@@ -1,0 +1,829 @@
+package core
+
+// Replication execution model (-ft-model=replicate|partial): part of the
+// world runs as dedicated shadow ranks that mirror a primary's task stream —
+// re-executing its map tasks, receiving shadow-mirrored copies of its
+// shuffle bundles, converting and reducing the same partitions into a local
+// staging buffer — so a primary failure fails over to the live shadow with
+// no checkpoint replay and no PFS read (FTHP-MPI / PartRePer-MPI style).
+// FTModelCR (the zero value) leaves every path in this file unreached, so
+// checkpoint-only runs stay byte-identical to pre-replication behaviour.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ftmrmpi/internal/kvbuf"
+	"ftmrmpi/internal/metrics"
+	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/sched"
+	"ftmrmpi/internal/storage"
+)
+
+// Replication-model message tags, in tag space far above tagStatusBase and
+// tagReplicaBase. The sync tag is offset by the job index (stale pushes from
+// an earlier job can never match a later one); the shuffle tag is offset by
+// the job index and the death count, so bundles from an exchange interrupted
+// by a failure can never be matched by the re-exchange after recovery (the
+// communicator shrank, so the death count is strictly larger).
+const (
+	tagShadowSync    = 1 << 21
+	tagShadowShuffle = 1 << 22
+)
+
+// shadowSyncLen is the wire size of one reduce-progress sync record:
+// [part u32][groups u32][outLen u64], little-endian.
+const shadowSyncLen = 16
+
+// encodeShadowSync serializes one reduce-progress sync record.
+func encodeShadowSync(part, groups uint32, outLen uint64) []byte {
+	buf := make([]byte, shadowSyncLen)
+	binary.LittleEndian.PutUint32(buf[0:4], part)
+	binary.LittleEndian.PutUint32(buf[4:8], groups)
+	binary.LittleEndian.PutUint64(buf[8:16], outLen)
+	return buf
+}
+
+// decodeShadowSync parses one reduce-progress sync record. The format is
+// fixed-size; any other length is a framing bug, not a partial read.
+func decodeShadowSync(data []byte) (part, groups uint32, outLen uint64, err error) {
+	if len(data) != shadowSyncLen {
+		return 0, 0, 0, fmt.Errorf("core: shadow sync record: %d bytes, want %d", len(data), shadowSyncLen)
+	}
+	part = binary.LittleEndian.Uint32(data[0:4])
+	groups = binary.LittleEndian.Uint32(data[4:8])
+	outLen = binary.LittleEndian.Uint64(data[8:16])
+	return part, groups, outLen, nil
+}
+
+// ftState is one rank's view of the replication execution model: the static
+// pairing, the dynamic acting/shadow assignment (updated identically on
+// every survivor during recovery), and — on shadow ranks — the mirror's
+// staging state. nil when the model is FTModelCR or inapplicable.
+type ftState struct {
+	pairing *sched.Pairing
+	slot    int  // the slot this rank serves (fixed for the job's lifetime)
+	mirror  bool // true while this rank is a mirroring shadow (cleared on promotion)
+
+	acting  []int // slot -> world rank currently acting as the slot's primary
+	acting0 []int // initial acting assignment (the hash-home mapping)
+	shadow  []int // slot -> live mirroring shadow's world rank, or -1
+
+	mirrorSlot map[int]int // world rank -> slot, for live mirroring shadows
+
+	// Shadow-side staging: mirrored task completions, the mirror's reduce
+	// progress and serialized output per partition, and the primary's last
+	// synced durable commit per partition.
+	mirrorDone map[int]bool
+	mirrorRed  map[int]uint32
+	shadowOut  map[int][]byte
+	syncedG    map[int]uint32
+	syncedLen  map[int]uint64
+
+	// seenFlows dedupes replicate-shuffle bundles: a primary's direct send
+	// and its shadow-mirrored copy carry the same world-unique flow id, and
+	// each receiver commits a given flow exactly once.
+	seenFlows map[uint64]bool
+
+	mets *ftMets
+}
+
+// newFTState builds the replication state for one runner, or returns nil
+// when the spec does not replicate (FTModelCR, a non-detect/resume model, or
+// a world too small to split). Every rank computes the same pairing locally.
+func newFTState(j *jobCtx, c *mpi.Comm, spec Spec) *ftState {
+	if !spec.FTModel.Replicating() {
+		return nil
+	}
+	if spec.Model != ModelDetectResumeWC && spec.Model != ModelDetectResumeNWC {
+		return nil
+	}
+	w := c.Size()
+	if w < 2 {
+		return nil
+	}
+	clus := j.clus
+	pr := sched.PairRanks(w, clus.Cfg.PPN, len(clus.Nodes), spec.ReplicaFraction)
+	if pr.P >= pr.W {
+		return nil // fraction rounded to zero shadows
+	}
+	f := &ftState{
+		pairing:    pr,
+		slot:       pr.SlotOf[c.Rank()],
+		mirror:     pr.IsShadow(c.Rank()),
+		acting:     make([]int, pr.P),
+		shadow:     make([]int, pr.P),
+		mirrorSlot: make(map[int]int),
+		mirrorDone: make(map[int]bool),
+		mirrorRed:  make(map[int]uint32),
+		shadowOut:  make(map[int][]byte),
+		syncedG:    make(map[int]uint32),
+		syncedLen:  make(map[int]uint64),
+		seenFlows:  make(map[uint64]bool),
+		mets:       bindFTMets(clus.Metrics, c.Self().WorldRank()),
+	}
+	for slot := 0; slot < pr.P; slot++ {
+		f.acting[slot] = c.WorldRank(slot)
+		f.shadow[slot] = -1
+		if s := pr.Shadow[slot]; s >= 0 {
+			sw := c.WorldRank(s)
+			f.shadow[slot] = sw
+			f.mirrorSlot[sw] = slot
+		}
+	}
+	f.acting0 = append([]int(nil), f.acting...)
+	return f
+}
+
+// pairWorld returns the world rank currently acting as this rank's slot
+// primary (for a mirroring shadow: the primary it mirrors).
+func (f *ftState) pairWorld() int { return f.acting[f.slot] }
+
+// actingSlot returns the slot w is acting primary of, or -1.
+func (f *ftState) actingSlot(w int) int {
+	for slot, aw := range f.acting {
+		if aw == w {
+			return slot
+		}
+	}
+	return -1
+}
+
+// redirectToActing maps a mirroring shadow to the primary it serves, so lost
+// work redistributed by recovery is never parked on a dedicated mirror (the
+// mirror re-executes it anyway, by mirroring its pair).
+func (f *ftState) redirectToActing(w int) int {
+	if slot, ok := f.mirrorSlot[w]; ok {
+		return f.acting[slot]
+	}
+	return w
+}
+
+// shuffleTag returns the replicate-exchange tag for the current failure
+// epoch (see the tag constants for why the death count is folded in).
+func (r *runner) shuffleTag() int {
+	deaths := len(r.world0) - r.comm.Size()
+	return tagShadowShuffle + r.job.jobIdx*4096 + deaths&4095
+}
+
+// syncTag returns the reduce-progress sync tag for this job.
+func (r *runner) syncTag() int { return tagShadowSync + r.job.jobIdx }
+
+// ---------------------------------------------------------- mirror phases --
+
+// mirrorEmitter stages a mirrored map task's output. Staging (instead of
+// emitting straight into mapOut) keeps mirrored tasks atomic: a task
+// interrupted by recovery re-runs from scratch without double-emitting.
+type mirrorEmitter struct {
+	kv    *kvbuf.KV
+	bytes int
+}
+
+// Emit implements KVWriter.
+func (e *mirrorEmitter) Emit(k, v []byte) {
+	e.kv.Add(k, v)
+	e.bytes += len(k) + len(v) + 8
+}
+
+// mirrorPending returns the pair's tasks this shadow has not mirrored yet.
+func (r *runner) mirrorPending() []int {
+	pair := r.ftm.pairWorld()
+	var out []int
+	for id, o := range r.tt.owner {
+		if o == pair && !r.ftm.mirrorDone[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// mirrorMap is the shadow-side map phase: re-execute every task the pair
+// owns, staging the output locally. No gossip, no checkpoints, no done-bit
+// mutation — the primary's stream is authoritative; the mirror only builds
+// the in-memory state a failover needs.
+func (r *runner) mirrorMap() error {
+	mapper := r.spec.NewMapper()
+	reader := r.spec.NewReader()
+	for {
+		// Recovery may reassign tasks to the pair; re-scan until none pending.
+		ids := r.mirrorPending()
+		if len(ids) == 0 {
+			break
+		}
+		for _, id := range ids {
+			if err := r.mirrorMapTask(id, mapper, reader); err != nil {
+				return err
+			}
+			r.ftm.mirrorDone[id] = true
+		}
+	}
+	r.drainStatus()
+	return r.net(func() error { return r.comm.Barrier() })
+}
+
+// mirrorMapTask re-executes one map task with the pair's input chunk,
+// paying the same read/compute/spill costs as the primary (replication's
+// resource overhead is real duplicated work) but writing no checkpoints.
+func (r *runner) mirrorMapTask(id int, mapper Mapper, reader FileRecordReader) error {
+	t0 := r.p.Now()
+	task := r.tt.tasks[id]
+	clus := r.job.clus
+	ctx := &TaskContext{proc: r.p, run: r}
+
+	data, d, err := clus.PFS.ReadFile(r.p, task.Chunk.File)
+	r.m.IOWait += d
+	for attempt := 0; err != nil; {
+		if errors.Is(err, storage.ErrTierOutage) {
+			clus.PFS.AwaitOnline(r.p)
+		} else if !errors.Is(err, storage.ErrReadFault) || attempt >= 2 {
+			break
+		} else {
+			attempt++
+		}
+		data, d, err = clus.PFS.ReadFile(r.p, task.Chunk.File)
+		r.m.IOWait += d
+	}
+	if err != nil {
+		return fmt.Errorf("core: mirror read chunk %s: %w", task.Chunk.File, err)
+	}
+	if err := reader.Open(task.Chunk, data); err != nil {
+		return err
+	}
+	defer reader.Close()
+
+	em := &mirrorEmitter{kv: kvbuf.NewKV()}
+	var cpuAcc float64
+	n := 0
+	for {
+		k, v, ok, err := reader.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := mapper.Map(ctx, k, v, em); err != nil {
+			return err
+		}
+		cpuAcc += mapper.Cost(k, v)
+		n++
+		if n >= mapBatch {
+			r.compute(cpuAcc)
+			cpuAcc = 0
+			n = 0
+		}
+	}
+	r.compute(cpuAcc)
+	r.compute(float64(em.bytes) * partitionCPUPerByte)
+	if em.bytes > 0 {
+		scratch := clus.LocalOf(r.myWorld())
+		if scratch == nil {
+			scratch = clus.PFS
+		}
+		r.m.IOWait += scratch.Charge(r.p, em.bytes/65536+1, em.bytes)
+	}
+	r.injectKV(em.kv)
+	// Train the shadow's load-balance model on the mirrored executions, so a
+	// promoted shadow enters recovery rounds with a fitted model.
+	r.lb.observe(task.Chunk.Size, (r.p.Now() - t0).Seconds(), r.p.Now())
+	return nil
+}
+
+// shuffleReplicate replaces the Alltoallv exchange when the replication
+// model is active: primaries send each slot's bundle directly to its acting
+// primary and shadow-mirror the identical bytes (same flow id) to the slot's
+// live shadow; every rank — primary or shadow — then collects one bundle per
+// slot, deduplicating on flow id. Shadows end up holding their pair's
+// post-shuffle partitions without the primary ever re-sending on failover.
+func (r *runner) shuffleReplicate() error {
+	f := r.ftm
+	tag := r.shuffleTag()
+
+	// Slots whose acting primary is alive (a member of the shrunken
+	// communicator). Slots that lost both pair members have no acting rank,
+	// and recovery reassigned their partitions to live acting primaries, so
+	// they neither send nor receive a bundle. Identical on every rank.
+	var liveSlots []int
+	for slot, aw := range f.acting {
+		if r.comm.CommRankOf(aw) >= 0 {
+			liveSlots = append(liveSlots, slot)
+		}
+	}
+
+	// Skip agreement, identical to the CR exchange.
+	have := int64(1)
+	if !r.shuffled {
+		have = 0
+	}
+	var all int64
+	err := r.net(func() error {
+		v, e := r.comm.AllreduceInt64(have, func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+		all = v
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	if all == 1 {
+		return nil
+	}
+
+	t1 := r.p.Now()
+	if !f.mirror {
+		if r.spec.NewCombiner != nil {
+			if err := r.combineLocal(); err != nil {
+				return err
+			}
+		}
+		for _, d := range liveSlots {
+			dw := f.acting[d]
+			var bundle []byte
+			for part := 0; part < r.nParts; part++ {
+				if r.partOwner[part] != dw {
+					continue
+				}
+				kv := r.mapOut[part]
+				var payload []byte
+				if kv != nil {
+					payload = kv.Bytes()
+				}
+				bundle = encodeFrame(bundle, frameShuffle, uint32(part), 0, payload)
+			}
+			var flow uint64
+			if err := r.net(func() error {
+				id, e := r.comm.SendTracked(r.comm.CommRankOf(dw), tag, bundle)
+				flow = id
+				return e
+			}); err != nil {
+				return err
+			}
+			if sw := f.shadow[d]; sw >= 0 {
+				if err := r.net(func() error {
+					return r.comm.SendMirror(r.comm.CommRankOf(sw), tag, bundle, flow)
+				}); err != nil {
+					return err
+				}
+				f.mets.mirrorSend(len(bundle))
+			}
+		}
+	}
+
+	// Collect one bundle per live source slot. Duplicate deliveries are
+	// dropped on flow id; a flow commits exactly once.
+	got := make([][]byte, len(f.acting))
+	need := len(liveSlots)
+	for need > 0 {
+		var m *mpi.Message
+		if err := r.net(func() error {
+			msg, e := r.comm.Recv(mpi.AnySource, tag)
+			m = msg
+			return e
+		}); err != nil {
+			return err
+		}
+		if f.seenFlows[m.ID()] {
+			f.mets.dupDrop()
+			continue
+		}
+		f.seenFlows[m.ID()] = true
+		srcSlot := f.actingSlot(r.comm.WorldRank(m.Src))
+		if srcSlot < 0 || got[srcSlot] != nil {
+			f.mets.dupDrop()
+			continue
+		}
+		got[srcSlot] = m.Data
+		need--
+	}
+	r.m.Counters["shuf_a2av_us"] += int64((r.p.Now() - t1) / 1000)
+
+	// Merge in slot order so every receiver builds partitions in the same
+	// deterministic order as the CR exchange.
+	r.parts = make(map[int]*kvbuf.KV)
+	r.kmv = make(map[int]*kvbuf.KMV)
+	for _, s := range liveSlots {
+		fs, err := decodeFrames(got[s])
+		if err != nil {
+			return fmt.Errorf("core: replicate shuffle bundle: %w", err)
+		}
+		for _, fr := range fs {
+			if fr.kind != frameShuffle {
+				continue
+			}
+			part := int(fr.a)
+			dst := r.parts[part]
+			if dst == nil {
+				dst = kvbuf.NewKV()
+				r.parts[part] = dst
+			}
+			if len(fr.payload) > 0 {
+				kv, err := kvbuf.FromBytes(fr.payload)
+				if err != nil {
+					return err
+				}
+				dst.Append(kv)
+				r.m.ShuffleBytes += int64(kv.Size())
+			}
+		}
+	}
+	r.shuffled = true
+
+	// Primaries checkpoint their owned partitions exactly as the CR exchange
+	// does; shadows write nothing (r.ck is disabled on mirrors and ownedParts
+	// is empty for them anyway).
+	t1 = r.p.Now()
+	if r.ck.enabled {
+		for _, part := range r.ownedParts() {
+			kv := r.parts[part]
+			var payload []byte
+			if kv != nil {
+				payload = kv.Bytes()
+			}
+			fr := encodeFrame(nil, frameShuffle, uint32(part), 0, payload)
+			r.ck.write(r.p, partStream(part), fr, 1)
+		}
+	}
+	r.m.Counters["shuf_ckpt_us"] += int64((r.p.Now() - t1) / 1000)
+	t1 = r.p.Now()
+	r.ck.phaseSync(r.p)
+	r.m.Counters["shuf_drain_us"] += int64((r.p.Now() - t1) / 1000)
+	t1 = r.p.Now()
+	err = r.net(func() error { return r.comm.Barrier() })
+	r.m.Counters["shuf_barrier_us"] += int64((r.p.Now() - t1) / 1000)
+	return err
+}
+
+// mirrorParts returns the pair's partitions this shadow actually received in
+// a replicate exchange (ascending). Partitions the pair adopted after the
+// exchange have no mirror data and are skipped — failover falls back to the
+// checkpoint path for those.
+func (r *runner) mirrorParts() []int {
+	pair := r.ftm.pairWorld()
+	var out []int
+	for part, o := range r.partOwner {
+		if o == pair && r.parts[part] != nil {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// mirrorConvert is the shadow-side convert phase: group the mirrored
+// partitions with the same algorithm and real charges as the primary.
+func (r *runner) mirrorConvert() error {
+	clus := r.job.clus
+	scratch := clus.LocalOf(r.myWorld())
+	if scratch == nil {
+		scratch = clus.PFS
+	}
+	for _, part := range r.mirrorParts() {
+		if r.kmv[part] != nil {
+			continue
+		}
+		kv := r.parts[part]
+		var m *kvbuf.KMV
+		var st kvbuf.ConvertStats
+		if r.spec.Convert == ConvertFourPass {
+			m, st = kvbuf.ConvertFourPass(kv)
+		} else {
+			m, st = kvbuf.ConvertTwoPass(kv)
+		}
+		r.kmv[part] = m
+		r.m.IOWait += scratch.Charge(r.p, st.ReadOps+st.WriteOps, st.Total())
+		r.compute(float64(st.Total()) * convertCPUPerByte)
+	}
+	return r.net(func() error { return r.comm.Barrier() })
+}
+
+// mirrorReduce is the shadow-side reduce phase: run the reducer over the
+// mirrored partitions into a local staging buffer (no PFS writes, no
+// checkpoint frames), folding in the primary's reduce-progress sync pushes
+// as they arrive so a failover knows the durable high-water mark.
+func (r *runner) mirrorReduce() error {
+	reducer := r.spec.NewReducer()
+	ctx := &TaskContext{proc: r.p, run: r}
+	interval := uint32(r.spec.CkptInterval)
+	if interval == 0 {
+		interval = 100
+	}
+	clus := r.job.clus
+	scratch := clus.LocalOf(r.myWorld())
+	if scratch == nil {
+		scratch = clus.PFS
+	}
+	for _, part := range r.mirrorParts() {
+		m := r.kmv[part]
+		if m == nil {
+			m = &kvbuf.KMV{}
+		}
+		if n := m.Bytes(); n > 0 {
+			r.m.IOWait += scratch.Charge(r.p, n/65536+1, n)
+		}
+		start := r.ftm.mirrorRed[part]
+		it := &kmvIterator{keys: m.Keys, vals: m.Vals, pos: int(start)}
+		w := &outputWriter{serialize: defaultSerialize}
+		var cpuAcc float64
+		g := start
+		stage := func() {
+			r.compute(cpuAcc)
+			cpuAcc = 0
+			if len(w.buf) > 0 {
+				r.ftm.shadowOut[part] = append(r.ftm.shadowOut[part], w.buf...)
+				w.buf = w.buf[:0]
+			}
+			r.ftm.mirrorRed[part] = g
+			r.drainShadowSync()
+		}
+		for {
+			key, vals, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := reducer.Reduce(ctx, key, vals, w); err != nil {
+				return err
+			}
+			cpuAcc += reducer.Cost(key, vals)
+			g++
+			if g%interval == 0 {
+				stage()
+			}
+		}
+		stage()
+	}
+	r.drainShadowSync()
+	return r.net(func() error { return r.comm.Barrier() })
+}
+
+// pushShadowSync sends this primary's latest durable reduce commit to its
+// live shadow (best-effort eager send; a dead shadow surfaces as a process
+// failure and enters normal recovery).
+func (r *runner) pushShadowSync(part int, g uint32) {
+	f := r.ftm
+	if f == nil || f.mirror {
+		return
+	}
+	sw := f.shadow[f.slot]
+	if sw < 0 {
+		return
+	}
+	cr := r.comm.CommRankOf(sw)
+	if cr < 0 {
+		return
+	}
+	msg := encodeShadowSync(uint32(part), g, r.outLen[part])
+	_ = r.net(func() error { return r.comm.Send(cr, r.syncTag(), msg) })
+	r.rec.ShadowSync("push", part, int(g), uint64(len(msg)))
+	f.mets.shadowSync()
+}
+
+// drainShadowSync folds banked reduce-progress pushes into the shadow's view
+// of the primary's durable high-water mark (monotone max per partition).
+func (r *runner) drainShadowSync() {
+	if r.ftm == nil {
+		return
+	}
+	for {
+		m, ok, err := r.comm.TryRecv(mpi.AnySource, r.syncTag())
+		if err != nil || !ok {
+			return
+		}
+		part, g, l, err := decodeShadowSync(m.Data)
+		if err != nil {
+			continue
+		}
+		if g >= r.ftm.syncedG[int(part)] {
+			r.ftm.syncedG[int(part)] = g
+			r.ftm.syncedLen[int(part)] = l
+		}
+		r.rec.ShadowSync("drain", int(part), int(g), uint64(len(m.Data)))
+	}
+}
+
+// ---------------------------------------------------------------- failover --
+
+// ftPromote applies the replication failover to the pairing state, after the
+// communicator shrank and before survivor claims are exchanged. Every
+// survivor updates the acting/shadow arrays identically (pure local compute
+// over the agreed failed set); the promoted shadow additionally claims its
+// pair's tasks and partitions, reconciles its staged output against the
+// primary's last durable commit, and becomes a checkpointing primary. The
+// claims then flow through the ordinary recovery allgather, so non-promoted
+// survivors learn the new ownership exactly as they learn any other claim.
+func (r *runner) ftPromote(failed []int) error {
+	f := r.ftm
+	if f == nil || len(failed) == 0 {
+		return nil
+	}
+	dead := make(map[int]bool, len(failed))
+	for _, w := range failed {
+		dead[w] = true
+	}
+	// Dead shadows stop mirroring their slot.
+	for slot, sw := range f.shadow {
+		if sw >= 0 && dead[sw] {
+			f.shadow[slot] = -1
+			delete(f.mirrorSlot, sw)
+		}
+	}
+	me := r.myWorld()
+	for slot, aw := range f.acting {
+		if !dead[aw] {
+			continue
+		}
+		sw := f.shadow[slot]
+		if sw < 0 {
+			// Unreplicated slot, or both pair members died: the slot's work
+			// goes through the ordinary checkpoint-based lost paths.
+			continue
+		}
+		f.acting[slot] = sw
+		f.shadow[slot] = -1
+		delete(f.mirrorSlot, sw)
+		if sw != me {
+			continue
+		}
+		f.mirror = false
+		r.rec.Failover(aw, sw)
+		f.mets.failover()
+		if err := r.adoptPromotion(aw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptPromotion is the promoted shadow's half of a failover: claim the dead
+// pair's tasks and partitions that the mirror can stand behind, reconcile
+// reduce output, and re-enable checkpointing. Everything here is local
+// compute plus PFS truncate/append on claimed partitions — no checkpoint
+// replay, no partition re-read.
+func (r *runner) adoptPromotion(deadWorld int) error {
+	me := r.myWorld()
+	// Fold any banked final sync pushes before judging durable progress.
+	r.drainShadowSync()
+	for id, o := range r.tt.owner {
+		if o != deadWorld {
+			continue
+		}
+		switch {
+		case r.ftm.mirrorDone[id]:
+			// Fully mirrored: the map output is in this rank's memory.
+			r.tt.owner[id] = me
+			r.tt.done[id] = true
+		case !r.tt.done[id]:
+			// Pending: the new primary runs it like any owned task.
+			r.tt.owner[id] = me
+			r.backlogBytes += float64(r.tt.tasks[id].Chunk.Size)
+		}
+		// Done-but-unmirrored tasks stay unclaimed: the generic lost-task
+		// machinery re-runs or restores them if their output is needed.
+	}
+	for part, o := range r.partOwner {
+		if o != deadWorld {
+			continue
+		}
+		if r.shuffled && r.parts[part] == nil {
+			// Post-exchange partition the mirror never received (adopted by
+			// the pair after the exchange): leave it to the lost path.
+			continue
+		}
+		r.partOwner[part] = me
+		if err := r.reconcileMirrorOutput(part); err != nil {
+			return err
+		}
+	}
+	// From here on this rank is an ordinary primary.
+	r.ck.enabled = r.spec.Model.Checkpointing()
+	return nil
+}
+
+// reconcileMirrorOutput aligns a claimed partition's reduce state with the
+// primary's last durable commit: when the mirror is at least as far along,
+// the file's uncommitted tail is replaced with the mirror's staged suffix
+// (byte-identical — both sides reduce the same deterministic groups) and the
+// reduce resumes from the mirror's progress; otherwise the committed prefix
+// stands and the reduce resumes from it.
+func (r *runner) reconcileMirrorOutput(part int) error {
+	f := r.ftm
+	gy, ly := f.syncedG[part], f.syncedLen[part]
+	gs, out := f.mirrorRed[part], f.shadowOut[part]
+	r.outLen[part] = ly
+	r.truncateOutput(part)
+	if gs >= gy && uint64(len(out)) >= ly {
+		if suffix := out[ly:]; len(suffix) > 0 {
+			if err := r.appendOutput(part, suffix); err != nil {
+				return err
+			}
+			r.outLen[part] = uint64(len(out))
+		}
+		r.reduceDone[part] = gs
+	} else {
+		r.reduceDone[part] = gy
+	}
+	delete(f.shadowOut, part)
+	delete(f.mirrorRed, part)
+	return nil
+}
+
+// appendOutput appends committed bytes to a partition's output file with the
+// same torn-write rollback and outage-wait discipline as the reduce commit.
+func (r *runner) appendOutput(part int, buf []byte) error {
+	pfs := r.job.clus.PFS
+	path := outputPath(r.spec.JobID, part)
+	for attempt := 0; ; attempt++ {
+		pre := pfs.Size(path)
+		d, err := pfs.AppendFile(r.p, path, buf, 1)
+		r.m.IOWait += d
+		if err == nil {
+			return nil
+		}
+		pfs.Truncate(path, pre)
+		if errors.Is(err, storage.ErrTierOutage) {
+			pfs.AwaitOnline(r.p)
+			attempt--
+			continue
+		}
+		if attempt >= 7 {
+			return fmt.Errorf("core: failover output append for partition %d: %w", part, err)
+		}
+	}
+}
+
+// pureFailover reports whether recovery can skip the lost-work machinery
+// entirely: every dead rank's work was claimed during promotion (or the dead
+// ranks were shadows owning nothing), so nothing is lost and no phase rewind
+// beyond the survivors' own minimum is needed.
+func (r *runner) pureFailover(lost, lostPending, lostDone []int) bool {
+	return r.ftm != nil && len(lost) == 0 && len(lostPending) == 0 && len(lostDone) == 0
+}
+
+// ------------------------------------------------------------------ metrics --
+
+// ftMets bundles the replication model's metric instruments; nil (all
+// methods no-op) when metrics are disabled. Bound only when the model is
+// active, so CR runs register no new series.
+type ftMets struct {
+	mirrorSends *metrics.Counter
+	mirrorBytes *metrics.Counter
+	shadowSyncs *metrics.Counter
+	dupDrops    *metrics.Counter
+	failovers   *metrics.Counter
+}
+
+// bindFTMets registers the replication-model series for one rank; nil
+// registry yields nil.
+func bindFTMets(reg *metrics.Registry, rank int) *ftMets {
+	if reg == nil {
+		return nil
+	}
+	return &ftMets{
+		mirrorSends: reg.Counter("ftmr_ftmodel_mirror_sends",
+			"Shadow-mirrored shuffle bundle copies sent.", rank),
+		mirrorBytes: reg.Counter("ftmr_ftmodel_mirror_bytes",
+			"Bytes of shadow-mirrored shuffle bundle copies.", rank),
+		shadowSyncs: reg.Counter("ftmr_ftmodel_shadow_syncs",
+			"Reduce-progress sync records pushed to shadows.", rank),
+		dupDrops: reg.Counter("ftmr_ftmodel_dup_drops",
+			"Duplicate replicate-shuffle deliveries dropped by flow-id dedup.", rank),
+		failovers: reg.Counter("ftmr_ftmodel_failovers",
+			"Shadow promotions to acting primary.", rank),
+	}
+}
+
+// mirrorSend counts one shadow-mirrored bundle copy.
+func (m *ftMets) mirrorSend(bytes int) {
+	if m == nil {
+		return
+	}
+	m.mirrorSends.Inc()
+	m.mirrorBytes.Add(float64(bytes))
+}
+
+// shadowSync counts one reduce-progress push.
+func (m *ftMets) shadowSync() {
+	if m == nil {
+		return
+	}
+	m.shadowSyncs.Inc()
+}
+
+// dupDrop counts one deduplicated delivery.
+func (m *ftMets) dupDrop() {
+	if m == nil {
+		return
+	}
+	m.dupDrops.Inc()
+}
+
+// failover counts one promotion.
+func (m *ftMets) failover() {
+	if m == nil {
+		return
+	}
+	m.failovers.Inc()
+}

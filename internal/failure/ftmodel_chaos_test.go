@@ -1,0 +1,127 @@
+// Replication execution-model chaos lockdown (the ftmodel-selftest): under
+// -ft-model=replicate, targeted kills of primaries, of shadows, and of both
+// members of one pair — the last forcing the CR-style checkpoint fallback
+// for that slot — must never change the job's output. Every seeded run
+// terminates, strands nothing, and produces per-partition bytes identical
+// to a failure-free replicated baseline.
+package failure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/sched"
+	"ftmrmpi/internal/trace"
+	"ftmrmpi/internal/workloads"
+)
+
+// TestFTModelChaosMatchesBaseline runs a failure-free -ft-model=replicate
+// baseline, then 30 seeded chaos runs rotating the kill target by seed:
+// a primary rank (its shadow must promote with no replay), a shadow rank
+// (the pair's primary must shrug it off), or both members of one pair
+// staggered in both orders (the slot's state is gone from memory, so the
+// survivors must fall back to the checkpoint machinery). Outputs must be
+// byte-identical to the baseline in every case, and across the campaign
+// both promotions and a both-dead fallback must actually occur.
+func TestFTModelChaosMatchesBaseline(t *testing.T) {
+	const (
+		runs = 30
+		name = "ftmchaos"
+	)
+	p := chaosCorpus()
+	repSpec := func() core.Spec {
+		spec := chaosSpec(name, p)
+		spec.FTModel = core.FTModelReplicate
+		return spec
+	}
+	// chaosCluster is 4 nodes x 2 PPN = 8 ranks; full replication pairs the
+	// 4 primary slots with the 4 high ranks. The pairing is a pure function
+	// of the layout, so the test derives targets from the same computation
+	// the runner uses.
+	pairing := sched.PairRanks(chaosParts, 2, 4, 1)
+	if pairing.P != chaosParts/2 {
+		t.Fatalf("pairing has %d primaries for %d ranks, want %d", pairing.P, chaosParts, chaosParts/2)
+	}
+
+	base := chaosCluster()
+	workloads.GenCorpus(base, "in/"+name, p)
+	hb := core.RunSingle(base, repSpec())
+	base.Sim.Run()
+	if res := hb.Result(); res == nil || res.Aborted {
+		t.Fatalf("baseline did not complete: %+v", res)
+	}
+	baseline := readParts(base, name)
+	for i := 0; i < pairing.P; i++ {
+		if len(baseline[i]) == 0 {
+			t.Fatalf("baseline partition %d is empty", i)
+		}
+	}
+	killWindow := base.Sim.Now() * 6 / 10
+
+	// killIfAlive fires a targeted kill at an absolute virtual time, skipped
+	// when the rank already died or the job already finished.
+	killIfAlive := func(h *core.Handle, rank int, at time.Duration) {
+		h.Clus.Sim.After(at, func() {
+			for _, a := range h.World.AliveRanks() {
+				if a == rank {
+					inject(h.World, rank)
+					return
+				}
+			}
+		})
+	}
+
+	promotions, bothDead := 0, 0
+	for seed := int64(1); seed <= runs; seed++ {
+		clus := chaosCluster()
+		workloads.GenCorpus(clus, "in/"+name, p)
+		h := core.RunSingle(clus, repSpec())
+
+		rng := rand.New(rand.NewSource(seed))
+		slot := rng.Intn(pairing.P)
+		at := time.Duration(rng.Int63n(int64(killWindow))) + 1
+		switch seed % 3 {
+		case 0: // primary dies; its shadow must promote without replay
+			killIfAlive(h, slot, at)
+		case 1: // shadow dies; invisible to the output
+			killIfAlive(h, pairing.Shadow[slot], at)
+		default: // both members of one pair, staggered in either order
+			gap := time.Duration(rng.Int63n(int64(200*time.Microsecond))) + 10*time.Microsecond
+			first, second := slot, pairing.Shadow[slot]
+			if seed%2 == 0 {
+				first, second = second, first
+			}
+			killIfAlive(h, first, at)
+			killIfAlive(h, second, at+gap)
+		}
+		clus.Sim.Run() // returning at all is the termination check
+
+		res := h.Result()
+		if res == nil || res.Aborted {
+			t.Fatalf("seed %d: aborted or never started: %+v", seed, res)
+		}
+		if st := clus.Sim.Stranded(); len(st) != 0 {
+			t.Fatalf("seed %d: stranded procs: %v", seed, st)
+		}
+		got := readParts(clus, name)
+		for i := range baseline {
+			if !bytes.Equal(got[i], baseline[i]) {
+				t.Fatalf("seed %d: partition %d differs from baseline (%d vs %d bytes)",
+					seed, i, len(got[i]), len(baseline[i]))
+			}
+		}
+		promotions += countKind(clus.Trace.Events(), trace.KindFailover, "promote")
+		if seed%3 == 2 && len(res.FailedRanks) == 2 {
+			bothDead++
+		}
+	}
+	if promotions == 0 {
+		t.Error("no shadow was ever promoted across the campaign")
+	}
+	if bothDead == 0 {
+		t.Error("no seed ever killed both members of a pair")
+	}
+}

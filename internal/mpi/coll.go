@@ -112,7 +112,7 @@ func (c *Comm) bcastTree(seq, root int, data []byte) ([]byte, error) {
 		data = m.Data
 	}
 	for _, child := range treeChildren(vr, n) {
-		if err := c.send(prank(child, root, n), internalTag(seq, 1), data); err != nil {
+		if _, err := c.send(prank(child, root, n), internalTag(seq, 1), data); err != nil {
 			return nil, err
 		}
 	}
@@ -159,7 +159,8 @@ func (c *Comm) gatherTree(seq, root int, data []byte, out [][]byte) error {
 		}
 	}
 	if parent := treeParent(vr); parent >= 0 {
-		return c.send(prank(parent, root, n), internalTag(seq, 2), encodeBundle(bundle))
+		_, err := c.send(prank(parent, root, n), internalTag(seq, 2), encodeBundle(bundle))
+		return err
 	}
 	if out != nil {
 		for r, d := range bundle {
@@ -273,7 +274,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 	for step := 1; step < n; step++ {
 		dst := (c.rank + step) % n
 		src := (c.rank - step + n) % n
-		if err := c.send(dst, internalTag(seq, 3), bufs[dst]); err != nil {
+		if _, err := c.send(dst, internalTag(seq, 3), bufs[dst]); err != nil {
 			return nil, c.raise(err)
 		}
 		m, err := c.recv(src, internalTag(seq, 3))

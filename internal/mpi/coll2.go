@@ -83,7 +83,7 @@ func (c *Comm) scatterTree(seq, root int, data [][]byte) ([]byte, error) {
 				sub[r] = d
 			}
 		}
-		if err := c.send(prank(child, root, n), internalTag(seq, 4), encodeBundle(sub)); err != nil {
+		if _, err := c.send(prank(child, root, n), internalTag(seq, 4), encodeBundle(sub)); err != nil {
 			return nil, err
 		}
 	}
@@ -121,7 +121,7 @@ func (c *Comm) ScanInt64(v int64, op func(a, b int64) int64) (int64, error) {
 	}
 	if c.rank < c.Size()-1 {
 		binary.BigEndian.PutUint64(buf[:], uint64(acc))
-		if err := c.send(c.rank+1, internalTag(seq, 5), buf[:]); err != nil {
+		if _, err := c.send(c.rank+1, internalTag(seq, 5), buf[:]); err != nil {
 			return 0, c.raise(err)
 		}
 	}

@@ -75,6 +75,12 @@ type Message struct {
 	id   uint64
 }
 
+// ID returns the world-unique message id (flow id) stamped at the send
+// site. Receivers that may see the same logical payload twice — once from
+// the original send and once from a shadow-mirrored copy (SendMirror) —
+// dedupe on it: two messages with equal IDs carry the same bytes.
+func (m *Message) ID() uint64 { return m.id }
+
 // World owns the ranks of one MPI job and their shared failure state.
 type World struct {
 	Sim     *vtime.Sim
@@ -421,17 +427,28 @@ func (c *Comm) transferCost(n int) time.Duration {
 // is busy for the wire time. Sends are eager/buffered: delivery does not
 // require a posted receive. Errors are raised through the error handler.
 func (c *Comm) Send(dest, tag int, data []byte) error {
-	return c.raise(c.send(dest, tag, data))
+	_, err := c.send(dest, tag, data)
+	return c.raise(err)
 }
 
-func (c *Comm) send(dest, tag int, data []byte) error {
+// SendTracked is Send, additionally returning the world-unique message id
+// (flow id) allocated for the transfer. The replication execution model uses
+// it to mirror the same logical message to a shadow rank via SendMirror, so
+// both deliveries carry an identical id and the receiver side can dedupe.
+// The id is 0 when err is non-nil (a failed send allocates no flow).
+func (c *Comm) SendTracked(dest, tag int, data []byte) (uint64, error) {
+	id, err := c.send(dest, tag, data)
+	return id, c.raise(err)
+}
+
+func (c *Comm) send(dest, tag int, data []byte) (uint64, error) {
 	st := c.st
 	if st.revoked {
-		return ErrRevoked
+		return 0, ErrRevoked
 	}
 	dworld := st.group[dest]
 	if !st.w.ranks[dworld].alive {
-		return &ProcFailedError{Ranks: []int{dworld}}
+		return 0, &ProcFailedError{Ranks: []int{dworld}}
 	}
 	st.w.msgID++
 	id := st.w.msgID
@@ -442,15 +459,54 @@ func (c *Comm) send(dest, tag int, data []byte) error {
 	}
 	c.r.proc.Sleep(c.transferCost(len(data)))
 	if st.w.aborted {
-		return ErrAborted
+		return 0, ErrAborted
 	}
 	if st.revoked {
-		return ErrRevoked
+		return 0, ErrRevoked
 	}
 	// Deliver (drop silently if the receiver died during the transfer —
 	// eager sends complete locally).
 	if st.w.ranks[dworld].alive {
 		st.deliver(dest, &Message{Src: c.rank, Tag: tag, Data: data, id: id})
+	}
+	return id, nil
+}
+
+// SendMirror transmits a byte-identical copy of an already-sent message to
+// dest (a comm rank), reusing the original send's flow id instead of
+// allocating a fresh one. This is the replication execution model's shadow
+// feed: the sender pays the wire time twice (once per member of the pair),
+// but the two deliveries are the *same logical message*, so the receiver
+// side can commit the payload exactly once by deduplicating on Message.ID.
+// The tracer records the copy as a shadow.mirror event (not a second
+// send.end) so flow validation knows the duplicate recv is expected.
+// Errors are raised through the error handler exactly like Send.
+func (c *Comm) SendMirror(dest, tag int, data []byte, flow uint64) error {
+	return c.raise(c.sendMirror(dest, tag, data, flow))
+}
+
+func (c *Comm) sendMirror(dest, tag int, data []byte, flow uint64) error {
+	st := c.st
+	if st.revoked {
+		return ErrRevoked
+	}
+	dworld := st.group[dest]
+	if !st.w.ranks[dworld].alive {
+		return &ProcFailedError{Ranks: []int{dworld}}
+	}
+	c.r.met.sendDone(len(data))
+	if rec := c.r.rec; rec != nil {
+		defer rec.ShadowMirror(dworld, tag, len(data), flow)
+	}
+	c.r.proc.Sleep(c.transferCost(len(data)))
+	if st.w.aborted {
+		return ErrAborted
+	}
+	if st.revoked {
+		return ErrRevoked
+	}
+	if st.w.ranks[dworld].alive {
+		st.deliver(dest, &Message{Src: c.rank, Tag: tag, Data: data, id: flow})
 	}
 	return nil
 }

@@ -1,0 +1,117 @@
+package sched
+
+// Primary/shadow pairing for the replication execution model
+// (-ft-model=replicate|partial).
+//
+// The world of W ranks is split into P primary slots (world ranks 0..P-1,
+// so partition p starts on world rank p exactly as in the CR model) and
+// S = W-P shadow ranks (world ranks P..W-1). Each shadow mirrors one
+// primary slot's task stream; on a primary failure the slot fails over to
+// its live shadow with no replay and no PFS read.
+//
+// The pairing is a pure function of (W, PPN, Nodes, fraction): every rank
+// computes it locally at job start and never exchanges it, and recovery
+// rounds consume it read-only — so it is deterministic and shrink-stable
+// by construction (shrinking the communicator cannot change it).
+
+// Pairing is the static primary/shadow layout for one job.
+type Pairing struct {
+	W int // world size the pairing was computed for
+	P int // number of primary slots (== partition count)
+
+	// Shadow maps slot -> shadow world rank, or -1 for unreplicated slots
+	// (partial mode replicates only ceil(fraction*P) slots).
+	Shadow []int
+
+	// SlotOf maps world rank -> the slot it serves (its own slot for a
+	// primary, the mirrored slot for a shadow).
+	SlotOf []int
+}
+
+// IsShadow reports whether world rank r starts the job as a shadow.
+func (p *Pairing) IsShadow(r int) bool { return r >= p.P }
+
+// PairPrimaries returns the number of primary slots for a world of w ranks
+// with the given replicated fraction (1 = full replication, 0.5 = every
+// other slot has a shadow, 0 = no shadows). Exported so the runner, the
+// bench harness, and tests all derive the same split.
+func PairPrimaries(w int, fraction float64) int {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	// P primaries plus fraction*P shadows must fit in w ranks.
+	p := int(float64(w) / (1 + fraction))
+	if p < 1 {
+		p = 1
+	}
+	// Rounding can leave more shadows than primaries; clamp so every
+	// shadow has a distinct slot.
+	if w-p > p {
+		p = w - p
+	}
+	return p
+}
+
+// PairRanks computes the primary/shadow pairing for a world of w ranks
+// placed round-robin on nodes of ppn cores each (cluster.NodeOf). Shadows
+// are drawn from the high rank range and assigned greedily to replicated
+// slots, always preferring a shadow on a different node than the primary;
+// a same-node pair is produced only when every remaining shadow rank lives
+// on the primary's node (e.g. a single-node cluster), so pairs are never
+// co-located when avoidable.
+func PairRanks(w, ppn, nodes int, fraction float64) *Pairing {
+	if ppn < 1 {
+		ppn = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	p := PairPrimaries(w, fraction)
+	s := w - p
+	pr := &Pairing{
+		W:      w,
+		P:      p,
+		Shadow: make([]int, p),
+		SlotOf: make([]int, w),
+	}
+	for i := range pr.Shadow {
+		pr.Shadow[i] = -1
+	}
+	for r := 0; r < p && r < w; r++ {
+		pr.SlotOf[r] = r
+	}
+	if s <= 0 {
+		return pr
+	}
+	node := func(r int) int { return r / ppn % nodes }
+	// Replicated slots, spread evenly across the slot range (partial
+	// mode): the j-th shadow serves slot j*P/S. With P >= S these are
+	// strictly increasing, hence distinct.
+	slots := make([]int, s)
+	for j := 0; j < s; j++ {
+		slots[j] = j * p / s
+	}
+	used := make([]bool, w)
+	for _, slot := range slots {
+		pick := -1
+		for r := p; r < w; r++ {
+			if used[r] {
+				continue
+			}
+			if node(r) != node(slot) {
+				pick = r
+				break
+			}
+			if pick < 0 {
+				pick = r // same-node fallback, kept only if nothing better shows up
+			}
+		}
+		used[pick] = true
+		pr.Shadow[slot] = pick
+		pr.SlotOf[pick] = slot
+	}
+	return pr
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestPairRanksProperties drives PairRanks over 50 seeded random cluster
+// shapes and checks the invariants the replicate runner depends on:
+//
+//   - determinism: the pairing is a pure function of its inputs (this is
+//     also what makes it shrink-stable — recovery rounds recompute nothing,
+//     so no communicator shrink can ever disagree about who shadows whom);
+//   - the split: primaries are exactly world ranks 0..P-1, every shadow
+//     rank serves exactly one distinct replicated slot, and the replicated
+//     fraction matches the request;
+//   - anti-colocation: whenever primaries and shadows occupy disjoint node
+//     sets (the supported production shape: P a multiple of PPN on a
+//     multi-node cluster with no rank wraparound), no pair shares a node.
+func TestPairRanksProperties(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ppn := 1 + rng.Intn(8)
+		nodes := 1 + rng.Intn(32)
+		w := 2 + rng.Intn(256)
+		fraction := []float64{0, 0.25, 0.5, 0.75, 1}[rng.Intn(5)]
+
+		pr := PairRanks(w, ppn, nodes, fraction)
+		again := PairRanks(w, ppn, nodes, fraction)
+		if !reflect.DeepEqual(pr, again) {
+			t.Fatalf("seed %d: PairRanks is not deterministic for w=%d ppn=%d nodes=%d f=%g",
+				seed, w, ppn, nodes, fraction)
+		}
+
+		p := pr.P
+		if p != PairPrimaries(w, fraction) {
+			t.Fatalf("seed %d: P=%d disagrees with PairPrimaries=%d", seed, p, PairPrimaries(w, fraction))
+		}
+		if p < 1 || p > w {
+			t.Fatalf("seed %d: P=%d out of range for w=%d", seed, p, w)
+		}
+		if len(pr.Shadow) != p || len(pr.SlotOf) != w {
+			t.Fatalf("seed %d: slice lengths Shadow=%d SlotOf=%d want %d/%d",
+				seed, len(pr.Shadow), len(pr.SlotOf), p, w)
+		}
+		if w-p > p {
+			t.Fatalf("seed %d: more shadows (%d) than slots (%d)", seed, w-p, p)
+		}
+
+		// Every rank serves exactly one slot; shadows are the high range
+		// and each serves a distinct slot that points back at it.
+		seen := make(map[int]bool)
+		shadows := 0
+		for r := 0; r < w; r++ {
+			slot := pr.SlotOf[r]
+			if slot < 0 || slot >= p {
+				t.Fatalf("seed %d: SlotOf[%d]=%d out of range", seed, r, slot)
+			}
+			if r < p {
+				if pr.IsShadow(r) || slot != r {
+					t.Fatalf("seed %d: primary %d misclassified (slot %d)", seed, r, slot)
+				}
+				continue
+			}
+			if !pr.IsShadow(r) {
+				t.Fatalf("seed %d: rank %d should be a shadow", seed, r)
+			}
+			if seen[slot] {
+				t.Fatalf("seed %d: slot %d has two shadows", seed, slot)
+			}
+			seen[slot] = true
+			if pr.Shadow[slot] != r {
+				t.Fatalf("seed %d: Shadow[%d]=%d, want %d", seed, slot, pr.Shadow[slot], r)
+			}
+			shadows++
+		}
+		if shadows != w-p {
+			t.Fatalf("seed %d: %d shadows assigned, want %d", seed, shadows, w-p)
+		}
+		for slot, sr := range pr.Shadow {
+			if sr >= 0 && !seen[slot] {
+				t.Fatalf("seed %d: Shadow[%d]=%d not backed by SlotOf", seed, slot, sr)
+			}
+		}
+
+		// Anti-colocation on the separable shapes.
+		if nodes > 1 && w <= ppn*nodes && p%ppn == 0 {
+			node := func(r int) int { return r / ppn % nodes }
+			for slot, sr := range pr.Shadow {
+				if sr >= 0 && node(sr) == node(slot) {
+					t.Fatalf("seed %d: pair (%d,%d) co-located on node %d (w=%d ppn=%d nodes=%d f=%g)",
+						seed, slot, sr, node(sr), w, ppn, nodes, fraction)
+				}
+			}
+		}
+	}
+}
+
+// TestPairRanksFullReplicationShape pins the exact layout the docs and the
+// chaos tests assume: full replication of an even world on a two-node-wide
+// slice pairs rank i with rank P+i across nodes.
+func TestPairRanksFullReplicationShape(t *testing.T) {
+	pr := PairRanks(16, 8, 2, 1)
+	if pr.P != 8 {
+		t.Fatalf("P=%d, want 8", pr.P)
+	}
+	for slot := 0; slot < 8; slot++ {
+		if pr.Shadow[slot] != 8+slot {
+			t.Fatalf("Shadow[%d]=%d, want %d", slot, pr.Shadow[slot], 8+slot)
+		}
+	}
+}

@@ -133,6 +133,25 @@ const (
 	// chain ("replica-local", "replica-peer" or "pfs"), A = bytes read,
 	// B = frames replayed.
 	KindRecoverySource
+
+	// Shadow mirror copy (replication execution model): the sender delivered
+	// a byte-identical copy of an already-sent message to the destination's
+	// shadow rank, reusing the original send's flow id. A=shadow world rank,
+	// B=tag, C=bytes; Flow repeats the original send.end's id, which is what
+	// lets flow validation accept the duplicate recv.end as expected instead
+	// of flagging a pairing violation. (Kinds stay additive within schema 2.)
+	KindShadowMirror
+
+	// Shadow sync (replication execution model): a primary pushed reduce
+	// commit progress to its shadow, or the shadow consumed it. Name="push"
+	// or "drain", A=partition id, B=groups committed, C=output bytes.
+	KindShadowSync
+
+	// Failover (replication execution model): a shadow rank promoted itself
+	// to acting primary for a failed slot with no replay and no PFS read.
+	// Name="promote"; A=slot (the failed primary's world rank), B=the
+	// promoted shadow's world rank.
+	KindFailover
 )
 
 var kindNames = map[Kind]string{
@@ -170,6 +189,9 @@ var kindNames = map[Kind]string{
 	KindCkptStall:      "ckpt.stall",
 	KindDrops:          "trace.drops",
 	KindRecoverySource: "recovery.source",
+	KindShadowMirror:   "shadow.mirror",
+	KindShadowSync:     "shadow.sync",
+	KindFailover:       "ftmodel.failover",
 }
 
 // String returns the kind's stable wire name (e.g. "phase.begin"), as used
@@ -513,6 +535,26 @@ func (r *Recorder) RecoveryStage(stage string, d time.Duration) {
 // ftmr_recovery_reads{source} counters and the abl-restore ablation.
 func (r *Recorder) RecoverySource(source string, bytes, frames int) {
 	r.emit(KindRecoverySource, source, int64(bytes), int64(frames), 0)
+}
+
+// ShadowMirror marks a byte-identical copy of an already-sent message being
+// delivered to a shadow rank (world rank peer), reusing the original send's
+// flow id. Emitted by mpi.SendMirror in place of a second send.end.
+func (r *Recorder) ShadowMirror(peer, tag, bytes int, flow uint64) {
+	r.emitFlow(KindShadowMirror, "", int64(peer), int64(tag), int64(bytes), flow)
+}
+
+// ShadowSync marks replicate-mode reduce progress crossing a pair: a
+// primary pushing a commit record to its shadow (what="push") or the shadow
+// consuming one (what="drain"). part/groups/bytes mirror the commit.
+func (r *Recorder) ShadowSync(what string, part int, groups int, bytes uint64) {
+	r.emit(KindShadowSync, what, int64(part), int64(groups), int64(bytes))
+}
+
+// Failover marks a shadow promoting itself to acting primary for a failed
+// slot (replication execution model: no replay, no PFS read).
+func (r *Recorder) Failover(slot, shadow int) {
+	r.emit(KindFailover, "promote", int64(slot), int64(shadow), 0)
 }
 
 // CkptStall attributes d of main-thread blocking to checkpoint I/O

@@ -305,8 +305,9 @@ func TestTracerOverheadGate(t *testing.T) {
 // recorder call must cost a single branch (plus call overhead when not
 // inlined). Compare with BenchmarkTracerOverheadEnabled. The mix includes
 // the critical-path instrumentation (attribution stages, checkpoint stalls,
-// stamped collectives) and the recovery-source attribution so new call
-// sites stay inside the same gate.
+// stamped collectives), the recovery-source attribution, and the
+// replication-model events (mirror/sync/failover) so new call sites stay
+// inside the same gate.
 func BenchmarkTracerOverheadDisabled(b *testing.B) {
 	var rec *Recorder
 	b.ReportAllocs()
@@ -318,6 +319,9 @@ func BenchmarkTracerOverheadDisabled(b *testing.B) {
 		rec.CollBeginN("barrier", 1, i)
 		rec.CollEndN("barrier", 1, i)
 		rec.RecoverySource("pfs", 64, 1)
+		rec.ShadowMirror(1, 2, 64, 1)
+		rec.ShadowSync("push", 1, 2, 64)
+		rec.Failover(1, 2)
 	}
 }
 
@@ -337,5 +341,8 @@ func BenchmarkTracerOverheadEnabled(b *testing.B) {
 		rec.CollBeginN("barrier", 1, i)
 		rec.CollEndN("barrier", 1, i)
 		rec.RecoverySource("pfs", 64, 1)
+		rec.ShadowMirror(1, 2, 64, 1)
+		rec.ShadowSync("push", 1, 2, 64)
+		rec.Failover(1, 2)
 	}
 }
