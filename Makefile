@@ -6,9 +6,9 @@ GO ?= go
 # the tracer- and metrics-overhead benchmarks that keep the disabled
 # instrumentation paths at one-branch cost, and the ftmr-trace, ftmr-metrics
 # and critical-path fixture self-tests.
-.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest bench
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead bench-throughput trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest bench
 
-check: vet build build-cmds race test fuzz-smoke bench-overhead trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest
+check: vet build build-cmds race test fuzz-smoke bench-overhead throughput-gate trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,20 @@ bench-overhead:
 	FTMR_OVERHEAD_GATE=1 $(GO) test ./internal/trace -run '^TestTracerOverheadGate$$' -v
 	$(GO) test ./internal/metrics -run '^$$' -bench MetricsOverhead -benchmem
 	FTMR_OVERHEAD_GATE=1 $(GO) test ./internal/metrics -run '^TestMetricsOverheadGate$$' -v
+
+# Simulator-throughput regression gate (part of `make check`): the indexed
+# mailbox matcher must stay well ahead of the legacy linear scan on the
+# incast microbenchmark, and both paths must schedule the identical event
+# sequence. Host-independent: it compares two configurations on one host.
+.PHONY: throughput-gate
+throughput-gate:
+	FTMR_THROUGHPUT_GATE=1 $(GO) test ./internal/bench -run '^TestThroughputGate$$' -v
+
+# Full simulator-throughput suite: the regression gate plus the 10k-rank
+# wordcount ceiling run (~15 min of wall clock and ~30 GB peak RSS at
+# W=10000; set FTMR_CEILING_RANKS to trim). Reproduces the thr-des rows.
+bench-throughput: throughput-gate
+	FTMR_THROUGHPUT_CEILING=1 $(GO) test ./internal/bench -run '^TestThroughputCeiling$$' -v -timeout 60m
 
 # CLI self-test over the committed fixtures (the same invariants the unit
 # tests pin, exercised through the real binary): self-diff is clean, the

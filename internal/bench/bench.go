@@ -137,11 +137,14 @@ func WriteTraces(prefix, format string) ([]string, error) {
 	return paths, nil
 }
 
-// newCluster builds a fresh paper-shaped cluster sized for nprocs.
+// newCluster builds a fresh paper-shaped cluster sized for nprocs. The node
+// count tracks the rank count in both directions: small figures get small
+// clusters, and ceiling runs past the default 2048 slots (the 10k-rank
+// throughput benchmark) grow the cluster to fit.
 func newCluster(nprocs int) *cluster.Cluster {
 	cfg := cluster.Default()
 	need := (nprocs + cfg.PPN - 1) / cfg.PPN
-	if need < cfg.Nodes {
+	if need != cfg.Nodes {
 		cfg.Nodes = need
 	}
 	c := cluster.New(cfg)

@@ -44,7 +44,7 @@ func TestAllFiguresRegistered(t *testing.T) {
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"abl-lb", "abl-gossip", "abl-queue", "abl-combiner", "abl-lb-trace", "abl-restore",
-		"abl-ftmodel"}
+		"abl-ftmodel", "thr-des"}
 	figs := Figures()
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures registered, want %d", len(figs), len(want))

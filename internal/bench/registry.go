@@ -36,6 +36,7 @@ func Figures() []Figure {
 		{"abl-lb-trace", ablLBTrace, "ablation: static vs trace-driven balancing under an injected straggler"},
 		{"abl-restore", ablRestore, "ablation: peer-replica restore vs PFS-only recovery under repeated kills"},
 		{"abl-ftmodel", ablFTModel, "ablation: replication (-ft-model=replicate) vs checkpoint/restart cost crossover"},
+		{"thr-des", thrDES, "simulator throughput: DES/mailbox events per second + 10k-rank ceiling"},
 	}
 }
 

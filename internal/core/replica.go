@@ -202,6 +202,11 @@ func (rp *replicator) push(stream string, data []byte) {
 		rp.sent[stream] = cover
 	}
 	full, _ := rp.store.lookup(stream)
+	// Partners receiving the same payload share one encoding: receivers only
+	// read the delivered bytes (receive copies on append), so aliasing one
+	// buffer across k eager sends is safe and saves k-1 encodings per
+	// commit.
+	var deltaMsg, fullMsg []byte
 	for _, w := range partners {
 		cr := rp.r.comm.CommRankOf(w)
 		if cr < 0 {
@@ -209,11 +214,17 @@ func (rp *replicator) push(stream string, data []byte) {
 		}
 		var msg []byte
 		if cover[w] == total-len(data) {
-			msg = encodeReplicaMsg(replicaDelta, stream, data)
+			if deltaMsg == nil {
+				deltaMsg = encodeReplicaMsg(replicaDelta, stream, data)
+			}
+			msg = deltaMsg
 		} else {
 			// New partner (or one that missed pushes): a delta would leave it
 			// holding a suffix with no prefix, so send the whole mirror.
-			msg = encodeReplicaMsg(replicaFull, stream, full)
+			if fullMsg == nil {
+				fullMsg = encodeReplicaMsg(replicaFull, stream, full)
+			}
+			msg = fullMsg
 		}
 		_ = rp.r.net(func() error { return rp.r.comm.Send(cr, rp.tag, msg) })
 		cover[w] = total

@@ -645,23 +645,27 @@ func (r *runner) phaseShuffle() error {
 	}
 
 	// Build one buffer per destination rank bundling the partitions it owns.
+	// One pass over the partitions (ascending, so each destination's bundle
+	// keeps the same frame order as the old per-destination scan) via an
+	// inverse owner map — a nested ranks×partitions scan is O(W²) per rank
+	// at scale.
 	n := r.comm.Size()
 	bufs := make([][]byte, n)
+	commOf := make(map[int]int, n)
 	for d := 0; d < n; d++ {
-		dw := r.comm.WorldRank(d)
-		var bundle []byte
-		for part := 0; part < r.nParts; part++ {
-			if r.partOwner[part] != dw {
-				continue
-			}
-			kv := r.mapOut[part]
-			var payload []byte
-			if kv != nil {
-				payload = kv.Bytes()
-			}
-			bundle = encodeFrame(bundle, frameShuffle, uint32(part), 0, payload)
+		commOf[r.comm.WorldRank(d)] = d
+	}
+	for part := 0; part < r.nParts; part++ {
+		d, ok := commOf[r.partOwner[part]]
+		if !ok {
+			continue
 		}
-		bufs[d] = bundle
+		kv := r.mapOut[part]
+		var payload []byte
+		if kv != nil {
+			payload = kv.Bytes()
+		}
+		bufs[d] = encodeFrame(bufs[d], frameShuffle, uint32(part), 0, payload)
 	}
 	var recv [][]byte
 	t1 := r.p.Now()

@@ -1,0 +1,134 @@
+// Matching-path equivalence suite (the scale-push PR's determinism pin):
+// the indexed mailbox matcher must implement exactly the same matching
+// relation as the legacy linear scans — first match in arrival order for
+// buffered messages, first match in posting order for parked receives — so
+// a chaos run (kills, storage faults, recovery, replica exchange) is
+// byte-identical whichever path is active. 20 seeds, each run once per
+// path, with the index thresholds lowered so the indexed path is exercised
+// even on this small world.
+package failure
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ftmrmpi/internal/core"
+	"ftmrmpi/internal/mpi"
+	"ftmrmpi/internal/workloads"
+)
+
+func TestMatchingPathEquivalence(t *testing.T) {
+	const name = "mpeq"
+	// Lighter than chaosCorpus: 20 seeds x 2 paths = 40 chaos runs (plus a
+	// race-detector pass in make check), so per-run cost matters more here
+	// than in the single-digit-seed chaos suites.
+	p := chaosCorpus()
+	p.Chunks = 12
+	p.Lines = 12
+
+	// A failure-free probe fixes the chaos window relative to the job's
+	// actual length so the seeded kills land mid-run.
+	probe := chaosCluster()
+	workloads.GenCorpus(probe, "in/"+name, p)
+	hp := core.RunSingle(probe, chaosSpec(name, p))
+	probe.Sim.Run()
+	if res := hp.Result(); res == nil || res.Aborted {
+		t.Fatalf("probe did not complete: %+v", res)
+	}
+	window := probe.Sim.Now() * 6 / 10
+
+	type outcome struct {
+		jsonl   []byte
+		parts   [][]byte
+		elapsed time.Duration
+		failed  int
+	}
+	run := func(t *testing.T, seed int64, linear bool) outcome {
+		t.Helper()
+		mpi.SetLinearMatching(linear)
+		if !linear {
+			// Force index builds at tiny live counts: the chaos world is far
+			// below the production thresholds, and an equivalence test that
+			// never builds an index proves nothing. (2, 1) keeps singleton
+			// traffic off the maps so 40 runs stay affordable while still
+			// indexing every mailbox that ever banks a burst or parks more
+			// than one waiter.
+			mpi.SetMatchingThresholds(2, 1)
+		}
+		defer func() {
+			mpi.SetLinearMatching(false)
+			mpi.SetMatchingThresholds(-1, -1)
+		}()
+		clus := chaosCluster()
+		workloads.GenCorpus(clus, "in/"+name, p)
+		var jsonl bytes.Buffer
+		clus.Trace.StreamJSONL(&jsonl)
+		StorageFaults(clus, seed)
+
+		h := core.RunSingle(clus, chaosSpec(name, p))
+		Chaos(h, seed, 2, window)
+		clus.Sim.Run()
+
+		res := h.Result()
+		if res == nil || res.Aborted {
+			t.Fatalf("run aborted or never started: %+v", res)
+		}
+		if st := clus.Sim.Stranded(); len(st) != 0 {
+			t.Fatalf("stranded procs: %v", st)
+		}
+		if err := clus.Trace.FlushStream(); err != nil {
+			t.Fatalf("stream sink: %v", err)
+		}
+		return outcome{
+			jsonl:   jsonl.Bytes(),
+			parts:   readParts(clus, name),
+			elapsed: res.Elapsed(),
+			failed:  len(res.FailedRanks),
+		}
+	}
+
+	anyFailed := false
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			lin := run(t, seed, true)
+			idx := run(t, seed, false)
+			if lin.failed > 0 {
+				anyFailed = true
+			}
+			if lin.elapsed != idx.elapsed {
+				t.Fatalf("virtual completion times differ: linear %v vs indexed %v", lin.elapsed, idx.elapsed)
+			}
+			if lin.failed != idx.failed {
+				t.Fatalf("failed-rank counts differ: %d vs %d", lin.failed, idx.failed)
+			}
+			if !bytes.Equal(lin.jsonl, idx.jsonl) {
+				al, bl := bytes.Split(lin.jsonl, []byte("\n")), bytes.Split(idx.jsonl, []byte("\n"))
+				n := len(al)
+				if len(bl) < n {
+					n = len(bl)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(al[i], bl[i]) {
+						t.Fatalf("traces diverge at line %d:\n  linear:  %s\n  indexed: %s", i+1, al[i], bl[i])
+					}
+				}
+				t.Fatalf("traces differ in length: %d vs %d lines", len(al), len(bl))
+			}
+			if len(lin.parts) != len(idx.parts) {
+				t.Fatalf("partition counts differ: %d vs %d", len(lin.parts), len(idx.parts))
+			}
+			for i := range lin.parts {
+				if !bytes.Equal(lin.parts[i], idx.parts[i]) {
+					t.Fatalf("output partition %d differs between matching paths (%d vs %d bytes)",
+						i, len(lin.parts[i]), len(idx.parts[i]))
+				}
+			}
+		})
+	}
+	if !anyFailed {
+		t.Fatal("no seed killed any rank: the suite never exercised recovery")
+	}
+}

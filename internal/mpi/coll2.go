@@ -147,10 +147,16 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 	}
 	box := st.boxes[c.rank]
 	for {
-		for _, m := range box.msgs {
+		var found *Message
+		box.eachMsg(func(m *Message) bool {
 			if (src == AnySource || src == m.Src) && tagMatch(tag, m.Tag) {
-				return m.Src, m.Tag, len(m.Data), nil
+				found = m
+				return false
 			}
+			return true
+		})
+		if found != nil {
+			return found.Src, found.Tag, len(found.Data), nil
 		}
 		if e := c.failedSourceErr(src); e != nil {
 			return 0, 0, 0, c.raise(e)
@@ -158,7 +164,7 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 		// Wait for any delivery, then re-scan. A probe waiter matches like
 		// a receive but re-buffers the message.
 		rw := &recvWait{p: c.r.proc, src: src, tag: tag}
-		box.waiters = append(box.waiters, rw)
+		box.addWaiter(rw)
 		for !rw.done {
 			c.r.proc.Park()
 			if st.w.aborted && !rw.done {
@@ -170,7 +176,7 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 			return 0, 0, 0, c.raise(rw.err)
 		}
 		// Put the matched message back for the subsequent Recv.
-		box.msgs = append([]*Message{rw.msg}, box.msgs...)
+		box.pushFrontMsg(rw.msg)
 	}
 }
 

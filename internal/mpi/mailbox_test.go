@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"testing"
+
+	"ftmrmpi/internal/vtime"
+)
+
+// TestMailboxCompactsTombstones pins the arrival-list compaction bound: a
+// long-lived message stuck at the front of an unindexed mailbox must not
+// let middle-consumed tombstones accumulate behind it (head only trims the
+// front, so without compaction every later linear scan would walk the
+// holes — the O(history) pathology the W=10000 ceiling run exposed).
+func TestMailboxCompactsTombstones(t *testing.T) {
+	// Force the linear path: thresholds high enough that no index builds.
+	SetMatchingThresholds(1<<30, 1<<30)
+	defer SetMatchingThresholds(-1, -1)
+
+	box := &mailbox{}
+	// A front message nobody receives for the whole test.
+	box.pushMsg(&Message{Src: 0, Tag: 99})
+	for i := 0; i < 10000; i++ {
+		box.pushMsg(&Message{Src: 1, Tag: i})
+		if m := box.matchBuffered(1, i); m == nil || m.Tag != i {
+			t.Fatalf("lost message tag %d", i)
+		}
+		if spread := len(box.msgs) - box.head; spread > 256 {
+			t.Fatalf("after %d middle consumes: %d list entries for %d live messages",
+				i+1, spread, box.msgLive)
+		}
+	}
+	if box.msgLive != 1 {
+		t.Fatalf("live count = %d, want the stuck front message only", box.msgLive)
+	}
+	if m := box.matchBuffered(0, 99); m == nil {
+		t.Fatal("stuck front message was lost by compaction")
+	}
+}
+
+// TestWaiterListCompactsTombstones is the waiter-side analogue: one parked
+// receive that never matches must not anchor an ever-growing list of
+// satisfied waiters behind it.
+func TestWaiterListCompactsTombstones(t *testing.T) {
+	SetMatchingThresholds(1<<30, 1<<30)
+	defer SetMatchingThresholds(-1, -1)
+
+	// expired() consults the waiter's process, so give every waiter a live
+	// (never-run) one.
+	p := vtime.NewSim().Spawn("waiter", func(*vtime.Proc) {})
+
+	box := &mailbox{}
+	stuck := &recvWait{p: p, src: 0, tag: 99}
+	box.addWaiter(stuck)
+	for i := 0; i < 10000; i++ {
+		box.addWaiter(&recvWait{p: p, src: 1, tag: i})
+		if rw := box.takeWaiter(&Message{Src: 1, Tag: i}); rw == nil || rw.tag != i {
+			t.Fatalf("lost waiter for tag %d", i)
+		}
+		if spread := len(box.waiters) - box.whead; spread > 256 {
+			t.Fatalf("after %d middle retires: %d list entries for %d live waiters",
+				i+1, spread, box.waitLive)
+		}
+	}
+	if box.waitLive != 1 {
+		t.Fatalf("live count = %d, want the stuck waiter only", box.waitLive)
+	}
+	if rw := box.takeWaiter(&Message{Src: 0, Tag: 99}); rw != stuck {
+		t.Fatal("stuck waiter was lost by compaction")
+	}
+}

@@ -41,9 +41,13 @@ var ErrRevoked = errors.New("mpi: communicator revoked")
 var ErrAborted = errors.New("mpi: job aborted")
 
 // ProcFailedError reports that one or more processes needed by the
-// operation have failed. Ranks are world ranks.
-type ProcFailedError struct{ Ranks []int }
+// operation have failed.
+type ProcFailedError struct {
+	// Ranks lists the failed processes as world ranks.
+	Ranks []int
+}
 
+// Error formats the failure with the world ranks involved.
 func (e *ProcFailedError) Error() string {
 	return fmt.Sprintf("mpi: process failure involving world ranks %v", e.Ranks)
 }
@@ -69,10 +73,18 @@ func tagMatch(want, got int) bool {
 // with the message so the receiver's recv.end trace event carries the same
 // flow id as the sender's send.end (the tracer's send→recv flow arrows).
 type Message struct {
-	Src  int
-	Tag  int
+	// Src is the sender's rank in the communicator the message was sent on.
+	Src int
+	// Tag is the message tag (negative tags are internal collective
+	// traffic).
+	Tag int
+	// Data is the payload. Receivers must treat it as read-only: eager
+	// sends alias the sender's buffer.
 	Data []byte
 	id   uint64
+	// taken tombstones a consumed message still referenced by mailbox
+	// index buckets.
+	taken bool
 }
 
 // ID returns the world-unique message id (flow id) stamped at the send
@@ -83,8 +95,10 @@ func (m *Message) ID() uint64 { return m.id }
 
 // World owns the ranks of one MPI job and their shared failure state.
 type World struct {
-	Sim     *vtime.Sim
-	Clus    *cluster.Cluster
+	// Sim is the simulator the job's ranks run on.
+	Sim *vtime.Sim
+	// Clus is the cluster providing nodes, links, and storage.
+	Clus *cluster.Cluster
 	n       int
 	ranks   []*Rank
 	comms   []*commState
@@ -157,23 +171,6 @@ func (r *Rank) Compute(p *vtime.Proc, sec float64) {
 	}
 }
 
-// recvWait is a parked receive.
-type recvWait struct {
-	p    *vtime.Proc
-	src  int // comm rank or AnySource
-	tag  int
-	msg  *Message
-	err  error
-	done bool
-}
-
-// mailbox holds unmatched arrived messages and parked receivers for one
-// (communicator, destination-rank) pair.
-type mailbox struct {
-	msgs    []*Message
-	waiters []*recvWait
-}
-
 // commState is the shared state of a communicator.
 type commState struct {
 	w       *World
@@ -191,6 +188,10 @@ type commState struct {
 	// dupEpoch / splitEpoch count Dup/Split calls per comm rank.
 	dupEpoch   []int
 	splitEpoch []int
+	// deadCount is the number of failed ranks in the group. It lets
+	// failedSourceErr answer the common all-failures-acknowledged case in
+	// O(1) instead of scanning the whole group on every AnySource receive.
+	deadCount int
 }
 
 // Comm is one rank's handle on a communicator.
@@ -241,6 +242,15 @@ func (w *World) newCommState(group []int) *commState {
 	for i := range st.boxes {
 		st.boxes[i] = &mailbox{}
 		st.acked[i] = make(map[int]bool)
+	}
+	// Communicators can be created after failures (Dup/Split of a group
+	// containing dead ranks): seed the dead count from current world state.
+	// During Launch the world communicator is created before the ranks
+	// exist; they all start alive, so the bound check is enough.
+	for _, wr := range st.group {
+		if wr < len(w.ranks) && !w.ranks[wr].alive {
+			st.deadCount++
+		}
 	}
 	w.comms = append(w.comms, st)
 	return st
@@ -313,21 +323,16 @@ func (st *commState) onFailure(worldRank int) {
 	if cr < 0 {
 		return
 	}
+	st.deadCount++
 	for _, box := range st.boxes {
-		var keep []*recvWait
-		for _, rw := range box.waiters {
-			if rw.p.Dead() {
-				continue
-			}
+		box.eachWaiter(func(rw *recvWait) bool {
 			if rw.src == cr || rw.src == AnySource {
 				rw.err = &ProcFailedError{Ranks: []int{worldRank}}
-				rw.done = true
 				st.w.Sim.Wake(rw.p)
-				continue
+				return true
 			}
-			keep = append(keep, rw)
-		}
-		box.waiters = keep
+			return false
+		})
 	}
 	if st.shrink != nil {
 		st.shrink.onFailure(st, worldRank)
@@ -511,34 +516,16 @@ func (c *Comm) sendMirror(dest, tag int, data []byte, flow uint64) error {
 	return nil
 }
 
-// deliver places msg in dest's mailbox and wakes a matching waiter.
+// deliver places msg in dest's mailbox, handing it to the earliest-posted
+// matching waiter if one is parked.
 func (st *commState) deliver(dest int, msg *Message) {
 	box := st.boxes[dest]
-	for i, rw := range box.waiters {
-		if rw.done || rw.p.Dead() {
-			continue
-		}
-		if (rw.src == AnySource || rw.src == msg.Src) && tagMatch(rw.tag, msg.Tag) {
-			rw.msg = msg
-			rw.done = true
-			box.waiters = append(box.waiters[:i], box.waiters[i+1:]...)
-			st.w.Sim.Wake(rw.p)
-			return
-		}
+	if rw := box.takeWaiter(msg); rw != nil {
+		rw.msg = msg
+		st.w.Sim.Wake(rw.p)
+		return
 	}
-	box.msgs = append(box.msgs, msg)
-}
-
-// matchBuffered removes and returns the first buffered message matching
-// (src, tag), or nil.
-func (box *mailbox) matchBuffered(src, tag int) *Message {
-	for i, m := range box.msgs {
-		if (src == AnySource || src == m.Src) && tagMatch(tag, m.Tag) {
-			box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
-			return m
-		}
-	}
-	return nil
+	box.pushMsg(msg)
 }
 
 // Recv blocks until a message matching (src, tag) arrives. src may be
@@ -577,7 +564,7 @@ func (c *Comm) recv(src, tag int) (*Message, error) {
 		rec.RecvBegin(srcWorld, tag)
 	}
 	rw := &recvWait{p: c.r.proc, src: src, tag: tag}
-	box.waiters = append(box.waiters, rw)
+	box.addWaiter(rw)
 	for !rw.done {
 		c.r.proc.Park()
 		if st.w.aborted && !rw.done {
@@ -627,6 +614,13 @@ func (c *Comm) TryRecv(src, tag int) (*Message, bool, error) {
 func (c *Comm) failedSourceErr(src int) error {
 	st := c.st
 	if src == AnySource {
+		// Fast path: every failed group member has been acknowledged (or
+		// none have failed). acked only ever holds failed ranks and ranks
+		// never revive, so equal cardinality means equal sets — O(1) per
+		// AnySource receive instead of an O(group) scan.
+		if st.deadCount == len(st.acked[c.rank]) {
+			return nil
+		}
 		var dead []int
 		for _, wr := range st.group {
 			if !st.w.ranks[wr].alive && !st.acked[c.rank][wr] {
@@ -643,16 +637,6 @@ func (c *Comm) failedSourceErr(src int) error {
 		return &ProcFailedError{Ranks: []int{wr}}
 	}
 	return nil
-}
-
-// unwait removes rw from the mailbox waiter list.
-func (box *mailbox) unwait(rw *recvWait) {
-	for i, w := range box.waiters {
-		if w == rw {
-			box.waiters = append(box.waiters[:i], box.waiters[i+1:]...)
-			return
-		}
-	}
 }
 
 // Dup creates a duplicate communicator with the same group. Collective: all

@@ -42,16 +42,11 @@ func (c *Comm) Revoke() error {
 		c.r.proc.Sleep(st.w.Clus.Cfg.NICLatency)
 	}
 	for _, box := range st.boxes {
-		ws := box.waiters
-		box.waiters = nil
-		for _, rw := range ws {
-			if rw.done || rw.p.Dead() {
-				continue
-			}
+		box.eachWaiter(func(rw *recvWait) bool {
 			rw.err = ErrRevoked
-			rw.done = true
 			st.w.Sim.Wake(rw.p)
-		}
+			return true
+		})
 	}
 	return nil
 }

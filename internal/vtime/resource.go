@@ -20,7 +20,11 @@ type Bandwidth struct {
 
 	active     []*xfer
 	lastUpdate time.Duration
-	pending    *Timer
+	// pending is the scheduled completion event (nil when idle); completeFn
+	// caches the b.complete method value so rescheduling — which happens on
+	// every membership change — allocates neither a closure nor a Timer.
+	pending    *event
+	completeFn func()
 
 	// Busy accounts total units served; BusyTime accumulates
 	// utilization-weighted time (for utilization metrics).
@@ -39,7 +43,9 @@ func NewBandwidth(s *Sim, name string, unitsPerSec float64) *Bandwidth {
 	if unitsPerSec <= 0 {
 		panic("vtime: bandwidth must be positive")
 	}
-	return &Bandwidth{s: s, name: name, rate: unitsPerSec, lastUpdate: s.now}
+	b := &Bandwidth{s: s, name: name, rate: unitsPerSec, lastUpdate: s.now}
+	b.completeFn = b.complete
+	return b
 }
 
 // Rate returns the configured capacity in units per second.
@@ -72,9 +78,11 @@ func (b *Bandwidth) update() {
 }
 
 // reschedule cancels any pending completion event and schedules the next.
+// The canceled event is removed from the heap and recycled immediately, so
+// the churn of membership changes never grows the scheduler heap.
 func (b *Bandwidth) reschedule() {
 	if b.pending != nil {
-		b.pending.Stop()
+		b.s.cancel(b.pending)
 		b.pending = nil
 	}
 	n := len(b.active)
@@ -91,7 +99,7 @@ func (b *Bandwidth) reschedule() {
 		minRem = 0
 	}
 	dt := minRem * float64(n) / b.rate
-	b.pending = b.s.After(time.Duration(dt*float64(time.Second))+1, b.complete)
+	b.pending = b.s.schedule(b.s.now+time.Duration(dt*float64(time.Second))+1, nil, b.completeFn)
 }
 
 // complete finishes every transfer whose remaining units have reached zero.

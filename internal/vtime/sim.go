@@ -2,16 +2,26 @@
 //
 // Simulated processes are goroutines, but the scheduler runs exactly one of
 // them at a time: a process executes until it parks (sleeps, blocks on a
-// queue, or waits for a resource) and then hands control back to the
-// scheduler, which advances the virtual clock to the next pending event.
-// Runs are therefore fully deterministic: event order depends only on
-// (virtual time, insertion sequence).
+// queue, or waits for a resource) and then hands control to the next pending
+// event's process directly. Runs are therefore fully deterministic: event
+// order depends only on (virtual time, insertion sequence).
 //
 // The package provides the primitives every substrate in this repository is
 // built on: virtual sleeping, mailbox queues for inter-process
 // synchronization, processor-sharing Bandwidth resources (used to model
 // shared storage bandwidth and per-core CPU time), and process kill
 // semantics (used by the failure injector).
+//
+// Scheduling is continuation-passing ("direct handoff"): there is no
+// scheduler goroutine ping-ponging with the processes. Whichever goroutine
+// stops running (a process parking or exiting, or Run itself) pops the next
+// event and either runs it inline (callbacks, self-wakes) or resumes the
+// next process with a single channel send. One event therefore costs one
+// goroutine switch instead of two, and consecutive same-instant callback
+// events batch into a single loop with no switches at all. Events are
+// pooled, and canceled timers are removed from the heap eagerly (Timer.Stop)
+// instead of leaking until their fire time. DESIGN.md §"Simulator core"
+// documents the invariants this machinery guarantees.
 package vtime
 
 import (
@@ -27,15 +37,17 @@ import (
 type killSentinel struct{}
 
 // event is a scheduled occurrence. Exactly one of proc/fn is set: proc
-// events resume a parked process, fn events run a callback inside the
-// scheduler (callbacks must not block).
+// events resume a parked process, fn events run a callback on whichever
+// goroutine is currently dispatching (callbacks must not block). Events are
+// recycled through Sim.pool; gen distinguishes incarnations so a stale
+// Timer handle cannot cancel a recycled event.
 type event struct {
-	at       time.Duration
-	seq      uint64
-	proc     *Proc
-	fn       func()
-	canceled bool
-	index    int // heap index
+	at    time.Duration
+	seq   uint64
+	proc  *Proc
+	fn    func()
+	gen   uint64
+	index int // heap index
 }
 
 type eventHeap []*event
@@ -72,16 +84,23 @@ type Sim struct {
 	now     time.Duration
 	events  eventHeap
 	seq     uint64
-	yielded chan struct{}
+	runDone chan struct{}
 	procs   []*Proc
 	live    int
 	crash   any    // panic value from a simulated process
 	crashBt []byte // and its stack
+	// pool recycles event structs: the hot path (every sleep, wake, and
+	// timer) allocates nothing once the pool is warm.
+	pool []*event
+	// processed counts events that actually fired (process resumes, process
+	// starts, and callbacks); dropped duplicates and dead-process events are
+	// not counted. The throughput benchmark divides it by wall time.
+	processed uint64
 }
 
 // NewSim returns an empty simulation at virtual time zero.
 func NewSim() *Sim {
-	return &Sim{yielded: make(chan struct{})}
+	return &Sim{runDone: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -90,30 +109,79 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Seconds returns the current virtual time in seconds.
 func (s *Sim) Seconds() float64 { return s.now.Seconds() }
 
+// EventsProcessed returns the number of events that have fired since the
+// simulation was created: process starts, process resumes, and scheduler
+// callbacks. Duplicate wakes and events bound to dead processes are not
+// counted. The throughput benchmarks report it divided by wall-clock time
+// as "simulated events per second".
+func (s *Sim) EventsProcessed() uint64 { return s.processed }
+
+// alloc takes an event from the pool (or allocates one).
+func (s *Sim) alloc() *event {
+	if n := len(s.pool); n > 0 {
+		e := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// free recycles an event. Bumping gen invalidates any Timer still holding
+// this incarnation.
+func (s *Sim) free(e *event) {
+	e.gen++
+	e.proc = nil
+	e.fn = nil
+	e.index = -1
+	s.pool = append(s.pool, e)
+}
+
 func (s *Sim) schedule(at time.Duration, p *Proc, fn func()) *event {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	e := &event{at: at, seq: s.seq, proc: p, fn: fn}
+	e := s.alloc()
+	e.at, e.seq, e.proc, e.fn = at, s.seq, p, fn
 	heap.Push(&s.events, e)
 	return e
+}
+
+// cancel removes a pending (un-fired) event from the heap and recycles it.
+func (s *Sim) cancel(e *event) {
+	heap.Remove(&s.events, e.index)
+	s.free(e)
 }
 
 // After schedules fn to run inside the scheduler at now+d. fn must not
 // block. It returns a handle that can be canceled.
 func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	return &Timer{e: s.schedule(s.now+d, nil, fn)}
+	e := s.schedule(s.now+d, nil, fn)
+	return &Timer{s: s, e: e, gen: e.gen}
 }
 
 // Timer is a cancelable scheduled callback.
-type Timer struct{ e *event }
+type Timer struct {
+	s   *Sim
+	e   *event
+	gen uint64
+}
 
-// Stop cancels the timer if it has not fired yet.
+// Stop cancels the timer if it has not fired yet, removing its event from
+// the scheduler heap immediately (canceled events do not linger until their
+// fire time, so long jobs arming and disarming many timers keep a compact
+// heap). Stopping an already-fired or already-stopped timer is a no-op.
 func (t *Timer) Stop() {
-	if t != nil && t.e != nil {
-		t.e.canceled = true
+	if t == nil || t.e == nil {
+		return
 	}
+	if t.e.gen != t.gen {
+		// The event already fired and was recycled; nothing to cancel.
+		t.e = nil
+		return
+	}
+	t.s.cancel(t.e)
+	t.e = nil
 }
 
 // Proc is a simulated process.
@@ -176,7 +244,74 @@ func (p *Proc) Killed() bool { return p.killed }
 // killed. Multiple handlers run in registration order.
 func (p *Proc) OnKill(fn func()) { p.onKill = append(p.onKill, fn) }
 
-// start launches the process goroutine. Called on first resume.
+// dispatchOutcome says where control went after a dispatch loop.
+type dispatchOutcome int
+
+const (
+	// outcomeHandoff: control was transferred to another goroutine (a
+	// resumed or freshly started process); the caller must stop running.
+	outcomeHandoff dispatchOutcome = iota
+	// outcomeSelf: the dispatching process's own wake event came up; it
+	// continues running with no context switch.
+	outcomeSelf
+	// outcomeDrained: no runnable events remain (or a crash was recorded);
+	// the simulation is over.
+	outcomeDrained
+)
+
+// dispatch pops and executes events until control transfers. Callback (fn)
+// events run inline on the calling goroutine, so consecutive same-instant
+// callbacks batch into this loop with zero context switches; a process
+// resume costs exactly one channel handoff. self, when non-nil, is the
+// parked process driving the dispatch: popping its own wake event returns
+// outcomeSelf instead of a channel round-trip.
+func (s *Sim) dispatch(self *Proc) dispatchOutcome {
+	for {
+		if s.crash != nil || len(s.events) == 0 {
+			return outcomeDrained
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.proc != nil && e.proc.dead {
+			s.free(e)
+			continue
+		}
+		s.now = e.at
+		if e.proc == nil {
+			fn := e.fn
+			s.free(e)
+			s.processed++
+			fn()
+			continue
+		}
+		p := e.proc
+		s.free(e)
+		switch {
+		case !p.started:
+			s.processed++
+			p.start()
+			return outcomeHandoff
+		case p.parked:
+			s.processed++
+			if p == self {
+				return outcomeSelf
+			}
+			p.resume <- struct{}{}
+			return outcomeHandoff
+		default:
+			// The proc was woken by an earlier event at the same timestamp
+			// and is past its park point; drop the duplicate.
+		}
+	}
+}
+
+// endRun signals Run that the event chain has drained.
+func (s *Sim) endRun() {
+	s.runDone <- struct{}{}
+}
+
+// start launches the process goroutine. Called on first resume. When the
+// process exits (normally, killed, or crashed), its goroutine dispatches
+// the next event — control never returns to a central scheduler.
 func (p *Proc) start() {
 	p.started = true
 	go func() {
@@ -190,21 +325,36 @@ func (p *Proc) start() {
 					p.sim.crashBt = debug.Stack()
 				}
 			}
-			p.sim.yielded <- struct{}{}
+			if p.sim.dispatch(nil) == outcomeDrained {
+				p.sim.endRun()
+			}
 		}()
 		p.fn(p)
 	}()
 }
 
-// park blocks the process until it is resumed by the scheduler. If the
-// process has been killed and the park point is killable, it unwinds.
+// park blocks the process until it is resumed. The parking goroutine drives
+// the dispatch loop itself: if its own wake event is next it keeps running
+// without any context switch, otherwise it hands control to the next
+// process and blocks on its resume channel. If the process has been killed
+// and the park point is killable, it unwinds.
 func (p *Proc) park() {
 	if p.killed && p.killable {
 		panic(killSentinel{})
 	}
 	p.parked = true
-	p.sim.yielded <- struct{}{}
-	<-p.resume
+	switch p.sim.dispatch(p) {
+	case outcomeSelf:
+		// Own wake event popped; continue without switching.
+	case outcomeHandoff:
+		<-p.resume
+	case outcomeDrained:
+		// Nothing left to run: the simulation is over and this process is
+		// stranded (or the sim crashed). Wake Run, then wait — a later Run
+		// may still deliver a resume.
+		p.sim.endRun()
+		<-p.resume
+	}
 	p.parked = false
 	if p.killed && p.killable {
 		panic(killSentinel{})
@@ -253,36 +403,18 @@ func (s *Sim) Kill(proc *Proc) {
 // virtual time. If a simulated process panicked, Run re-panics with the
 // original value and stack.
 func (s *Sim) Run() time.Duration {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.canceled || (e.proc != nil && e.proc.dead) {
-			continue
-		}
-		s.now = e.at
-		switch {
-		case e.proc != nil:
-			p := e.proc
-			if !p.started {
-				p.start()
-				<-s.yielded
-			} else if p.parked {
-				p.resume <- struct{}{}
-				<-s.yielded
-			}
-			// A proc that is neither unstarted nor parked was woken by an
-			// earlier event at the same timestamp; drop the duplicate.
-		case e.fn != nil:
-			e.fn()
-		}
-		if s.crash != nil {
-			panic(fmt.Sprintf("vtime: simulated process panicked: %v\n%s", s.crash, s.crashBt))
-		}
+	if s.dispatch(nil) == outcomeHandoff {
+		<-s.runDone
+	}
+	if s.crash != nil {
+		panic(fmt.Sprintf("vtime: simulated process panicked: %v\n%s", s.crash, s.crashBt))
 	}
 	return s.now
 }
 
 // ActiveEvents returns the number of scheduled events that can still fire:
-// pending events that are neither canceled nor bound to a dead process. A
+// pending events that are not bound to a dead process (canceled timers are
+// removed from the heap at Stop time, so they never appear here). A
 // self-rescheduling callback (e.g. the metrics sampler's cadence timer)
 // consults it to decide whether re-arming would keep the simulation alive
 // artificially — inside a callback, a result of 0 means nothing else will
@@ -290,13 +422,18 @@ func (s *Sim) Run() time.Duration {
 func (s *Sim) ActiveEvents() int {
 	n := 0
 	for _, e := range s.events {
-		if e.canceled || (e.proc != nil && e.proc.dead) {
+		if e.proc != nil && e.proc.dead {
 			continue
 		}
 		n++
 	}
 	return n
 }
+
+// PendingEvents returns the raw scheduler heap size, including events bound
+// to dead processes that will be dropped when popped. The timer-compaction
+// unit test pins heap growth with it; ActiveEvents is the behavioral count.
+func (s *Sim) PendingEvents() int { return len(s.events) }
 
 // Stranded returns the names of processes that are still parked after Run
 // finished (i.e. they are waiting for something that will never happen).

@@ -406,3 +406,56 @@ func TestProcIdentity(t *testing.T) {
 		t.Fatal("completed proc state wrong")
 	}
 }
+
+func TestTimerStopCompactsHeap(t *testing.T) {
+	// A long job arming and disarming many timers (e.g. Bandwidth
+	// rescheduling on every membership change) must not grow the event
+	// heap: Stop removes the canceled event immediately instead of leaving
+	// it to fire as a no-op.
+	s := NewSim()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			tm := s.After(time.Hour, func() { t.Error("stopped timer fired") })
+			tm.Stop()
+			if n := s.PendingEvents(); n > 1 {
+				t.Fatalf("heap grew to %d pending events after %d stopped timers", n, i+1)
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	s.Run()
+	if n := s.PendingEvents(); n != 0 {
+		t.Fatalf("%d events left after run", n)
+	}
+}
+
+func TestTimerStopAfterFireIsNoop(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	var tm *Timer
+	s.Spawn("p", func(p *Proc) {
+		tm = s.After(time.Second, func() { fired++ })
+		p.Sleep(2 * time.Second)
+		// The timer fired and its event was recycled; Stop must not touch
+		// whatever reused the slot.
+		other := s.After(time.Second, func() { fired++ })
+		tm.Stop()
+		tm.Stop() // double-stop is also a no-op
+		_ = other
+		p.Sleep(2 * time.Second)
+	})
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (stale Stop canceled a recycled event)", fired)
+	}
+}
+
+func TestEventsProcessedCounts(t *testing.T) {
+	s := NewSim()
+	s.Spawn("a", func(p *Proc) { p.Sleep(time.Second) })
+	s.After(time.Second, func() {})
+	s.Run()
+	if n := s.EventsProcessed(); n < 3 {
+		t.Fatalf("EventsProcessed = %d, want >= 3 (spawn resume, sleep wake, callback)", n)
+	}
+}
