@@ -6,9 +6,9 @@ GO ?= go
 # the tracer- and metrics-overhead benchmarks that keep the disabled
 # instrumentation paths at one-branch cost, and the ftmr-trace, ftmr-metrics
 # and critical-path fixture self-tests.
-.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead bench-throughput trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest bench
+.PHONY: check vet build build-cmds test race fuzz-smoke bench-overhead bench-throughput trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest introspect-selftest bench
 
-check: vet build build-cmds race test fuzz-smoke bench-overhead throughput-gate trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest
+check: vet build build-cmds race test fuzz-smoke bench-overhead throughput-gate trace-selftest metrics-selftest critpath-selftest replica-selftest ftmodel-selftest introspect-selftest
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 5s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeState$$' -fuzztime 5s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDecodeShadowSync$$' -fuzztime 5s
+	$(GO) test ./internal/introspect -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime 5s
 
 # Runs the raw benchmarks for eyeballing, then the hard gates: the tests
 # fail if a disabled tracer or metrics path allocates or regresses past
@@ -106,6 +107,20 @@ replica-selftest:
 # finish with output bytes identical to the failure-free baseline.
 ftmodel-selftest:
 	$(GO) test ./internal/failure -run '^TestFTModelChaosMatchesBaseline$$' -v
+
+# Introspection-plane self-test through the real binaries: the committed
+# crossed-recv deadlock fixture must make `ftmr-trace inspect` exit 1 (and
+# render its wait-for graph as DOT), a live 8-rank wordcount run with
+# snapshots on must exit 0 and inspect clean, the 20-seed chaos campaign
+# must raise no false stall reports, and same-seed reruns must serialize
+# byte-identical snapshot streams.
+introspect-selftest: build-cmds
+	! bin/ftmr-trace inspect internal/introspect/testdata/deadlock.jsonl >/dev/null
+	bin/ftmr-trace inspect -waitgraph internal/introspect/testdata/deadlock.jsonl | grep -q digraph
+	bin/ftmr-sim -workload wordcount -procs 8 -kill-phase map \
+		-introspect-out /tmp/ftmr-introspect-selftest.jsonl >/dev/null
+	bin/ftmr-trace inspect /tmp/ftmr-introspect-selftest.jsonl >/dev/null
+	$(GO) test ./internal/failure -run '^TestIntrospectChaos' -v
 
 # Regenerates the committed evaluation results: the human-readable tables
 # and the machine-readable trajectory document, from one run (so the two

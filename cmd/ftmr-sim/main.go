@@ -20,7 +20,9 @@ import (
 	"ftmrmpi/internal/cluster"
 	"ftmrmpi/internal/core"
 	"ftmrmpi/internal/failure"
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/metrics"
+	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/trace/critpath"
 	"ftmrmpi/internal/workloads"
@@ -89,6 +91,10 @@ func main() {
 		streamTo  = flag.String("trace-stream", "", "stream JSONL events (write-through) to this file during the run")
 		critOut   = flag.String("critpath-out", "", "write the critical-path report to this file (enables tracing)")
 
+		introspectOut = flag.String("introspect-out", "", "stream introspection snapshots (JSONL) to this file")
+		introspectInt = flag.Duration("introspect-interval", 100*time.Millisecond, "virtual-time snapshot cadence for the introspection plane")
+		stallAfter    = flag.Duration("stall-after", 0, "wall-clock no-progress watchdog: report a stall after this much real time without virtual-time progress (0 disables; enables the plane)")
+
 		metricsOut      = flag.String("metrics-out", "", "write the final metrics snapshot (OpenMetrics text) to this file")
 		metricsInterval = flag.Duration("metrics-interval", 0, "also sample metrics on this virtual-time cadence (0: final snapshot only)")
 		health          = flag.Bool("health", false, "print the SLO health report and exit 1 when the gate fails")
@@ -103,6 +109,7 @@ func main() {
 		sloMissing  = flag.Float64("slo-missing-ranks", def.MaxMissingRanks, "max missing ranks (negative: report-only)")
 		sloCritPath = flag.Float64("slo-critpath-recovery", def.MaxRecoveryPathShare, "max recovery share of the critical path, 0..1 (negative: report-only)")
 		sloPFSShare = flag.Float64("slo-recovery-pfs-share", def.MaxRecoveryPFSShare, "max share of recovery reads served by the PFS instead of replicas, 0..1 (negative: report-only)")
+		sloStalls   = flag.Float64("slo-introspect-stalls", def.MaxIntrospectStalls, "max introspection stall reports (negative: report-only)")
 	)
 	flag.Parse()
 
@@ -144,6 +151,53 @@ func main() {
 	if *metricsOut != "" || *health {
 		clus.Metrics = metrics.New(clus.Sim)
 		sampler = metrics.StartSampler(clus.Metrics, *metricsInterval)
+	}
+	// Like the registry, the plane must exist before Launch: probes bind per
+	// rank at spawn time.
+	var inspFile *os.File
+	if *introspectOut != "" || *stallAfter > 0 {
+		pl := introspect.New(clus.Sim, *introspectInt)
+		clus.Introspect = pl
+		pl.Outages = func(now time.Duration) []introspect.Outage {
+			var out []introspect.Outage
+			tiers := []*storage.Tier{clus.PFS}
+			for _, n := range clus.Nodes {
+				if n.Local != nil {
+					tiers = append(tiers, n.Local)
+				}
+			}
+			for _, t := range tiers {
+				if t.Faults == nil {
+					continue
+				}
+				if until, ok := t.Faults.OutageUntil(now); ok {
+					out = append(out, introspect.Outage{Tier: t.Name, UntilUS: float64(until) / 1e3})
+				}
+			}
+			return out
+		}
+		if clus.Metrics != nil {
+			reg := clus.Metrics
+			pl.OnRankStates = func(counts map[string]int) {
+				for _, st := range introspect.AllStates {
+					reg.GaugeL(metrics.MRankState,
+						"ranks per wait state at the last introspection snapshot",
+						"state", st).Set(float64(counts[st]))
+				}
+				reg.GaugeL(metrics.MIntrospectStalls,
+					"stall reports from the introspection plane",
+					"kind", "total").Set(float64(len(pl.Stalls())))
+			}
+		}
+		if *introspectOut != "" {
+			f, err := os.Create(*introspectOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "introspect: %v\n", err)
+				os.Exit(1)
+			}
+			inspFile = f
+			pl.StreamJSONL(f)
+		}
 	}
 	var streamFile *os.File
 	if *streamTo != "" {
@@ -241,7 +295,10 @@ func main() {
 		failure.KillOnPhase(h, rank, ph, time.Millisecond)
 	}
 
+	clus.Introspect.Start()
+	wd := clus.Introspect.StartWatchdog(*stallAfter, os.Stderr)
 	clus.Sim.Run()
+	wd.Stop()
 
 	report := func(res *core.Result) {
 		if *asJSON {
@@ -267,9 +324,20 @@ func main() {
 		spec := h.Results()[0].Spec
 		spec.Resume = true
 		h2 := core.RunSingle(clus, spec)
+		clus.Introspect.Start()
+		wd2 := clus.Introspect.StartWatchdog(*stallAfter, os.Stderr)
 		clus.Sim.Run()
+		wd2.Stop()
 		report(h2.Result())
 		allResults = append(allResults, h2.Result())
+	}
+	// Post-run capture: if ranks deadlocked, the heap drained with them still
+	// parked and this snapshot names the cycle.
+	clus.Introspect.Final()
+	if clus.Introspect != nil && clus.Metrics != nil {
+		clus.Metrics.GaugeL(metrics.MIntrospectStalls,
+			"stall reports from the introspection plane",
+			"kind", "total").Set(float64(len(clus.Introspect.Stalls())))
 	}
 
 	if *stFaults || *outage != "" {
@@ -372,11 +440,28 @@ func main() {
 				MaxMissingRanks:      *sloMissing,
 				MaxRecoveryPathShare: *sloCritPath,
 				MaxRecoveryPFSShare:  *sloPFSShare,
+				MaxIntrospectStalls:  *sloStalls,
 			})
 			hl.Render(os.Stdout)
 			if hl.Breached() {
 				os.Exit(1)
 			}
+		}
+	}
+
+	if clus.Introspect != nil {
+		if inspFile != nil {
+			if err := clus.Introspect.FlushStream(); err != nil {
+				fmt.Fprintf(os.Stderr, "introspect: %v\n", err)
+				os.Exit(1)
+			}
+			_ = inspFile.Close()
+			fmt.Fprintf(os.Stderr, "introspection snapshots written to %s (jsonl)\n", *introspectOut)
+		}
+		if stalls := clus.Introspect.Stalls(); len(stalls) > 0 {
+			fmt.Fprintf(os.Stderr, "introspect: %d stall report(s) (%s); inspect with: ftmr-trace inspect %s\n",
+				len(stalls), stalls[0].Reason, *introspectOut)
+			os.Exit(1)
 		}
 	}
 }

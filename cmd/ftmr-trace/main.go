@@ -1,5 +1,5 @@
 // Command ftmr-trace analyzes JSONL traces written by ftmr-sim -trace
-// (wire format: DESIGN.md §"Trace wire format v2"). Four subcommands:
+// (wire format: DESIGN.md §"Trace wire format v2"). Five subcommands:
 //
 //	ftmr-trace diff [-tol d] [-max n] A.jsonl B.jsonl
 //	    Align two traces of the same workload by (rank, kind, occurrence)
@@ -18,9 +18,14 @@
 //	    path (DESIGN.md §"Critical path"); with -against, diff two runs'
 //	    path composition and flag regressed categories.
 //
-// Exit status: 0 clean, 1 divergence/violations/regression found, 2 usage
-// or I/O error. Damaged traces (malformed lines) are reported on stderr but
-// analysis proceeds on the lines that decoded.
+//	ftmr-trace inspect [-waitgraph] I.jsonl
+//	    Render an introspection stream from ftmr-sim -introspect-out: the
+//	    final per-rank wait-state table plus every stall report, or the
+//	    wait-for graph in Graphviz DOT form.
+//
+// Exit status: 0 clean, 1 divergence/violations/regression/stalls found, 2
+// usage or I/O error. Damaged traces (malformed lines) are reported on
+// stderr but analysis proceeds on the lines that decoded.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"sort"
 
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/trace/critpath"
 )
@@ -46,8 +52,11 @@ commands:
   critpath [-top n] [-threshold f] [-against B.jsonl] T.jsonl
         attribute the virtual-time critical path; with -against, diff two
         runs' path composition and flag regressed categories
+  inspect [-waitgraph] I.jsonl
+        render an introspection stream (ftmr-sim -introspect-out): final
+        wait-state table + stall reports, or the wait-for graph as DOT
 
-exit status: 0 clean, 1 divergence/violations/regression, 2 usage or I/O error
+exit status: 0 clean, 1 divergence/violations/regression/stalls, 2 usage or I/O error
 `)
 	os.Exit(2)
 }
@@ -65,6 +74,8 @@ func main() {
 		os.Exit(cmdFlows(os.Args[2:]))
 	case "critpath":
 		os.Exit(cmdCritPath(os.Args[2:]))
+	case "inspect":
+		os.Exit(cmdInspect(os.Args[2:]))
 	default:
 		fmt.Fprintf(os.Stderr, "ftmr-trace: unknown command %q\n", os.Args[1])
 		usage()
@@ -113,6 +124,34 @@ func cmdCritPath(args []string) int {
 		return 2
 	}
 	if critpath.RenderCompare(os.Stdout, base, rep, *threshold) {
+		return 1
+	}
+	return 0
+}
+
+func cmdInspect(args []string) int {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	waitgraph := fs.Bool("waitgraph", false, "emit the final snapshot's wait-for graph as Graphviz DOT")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	lines, rr, err := introspect.ReadJSONLFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmr-trace: %s: %v\n", path, err)
+		return 2
+	}
+	if !rr.Clean() {
+		fmt.Fprintf(os.Stderr, "ftmr-trace: warning: %s: %v\n", path, rr.Err())
+	}
+	snaps, stalls := introspect.SplitLines(lines)
+	if *waitgraph {
+		introspect.RenderDOT(os.Stdout, snaps, stalls)
+	} else {
+		introspect.RenderTable(os.Stdout, snaps, stalls)
+	}
+	if len(stalls) > 0 {
 		return 1
 	}
 	return 0

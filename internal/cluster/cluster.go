@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/metrics"
 	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/trace"
@@ -95,6 +96,13 @@ type Cluster struct {
 	// its instruments to. Like Trace, nil disables all metric collection at
 	// the cost of one branch per instrumentation point.
 	Metrics *metrics.Registry
+
+	// Introspect, when non-nil, is the live introspection plane: ranks bind
+	// annotation probes at spawn time and the plane captures wait-state
+	// snapshots at the scheduler's safe points. Like Trace and Metrics, nil
+	// disables it at the cost of one branch per instrumentation point, and
+	// it must be set before Launch.
+	Introspect *introspect.Plane
 }
 
 // New builds a cluster on a fresh simulation.

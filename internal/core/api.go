@@ -47,6 +47,7 @@ const (
 	ModelDetectResumeNWC
 )
 
+// String names the model the way the paper's figures label it.
 func (m Model) String() string {
 	switch m {
 	case ModelNone:
@@ -90,6 +91,7 @@ const (
 	FTModelPartial
 )
 
+// String names the replication model for flags and result summaries.
 func (m FTModel) String() string {
 	switch m {
 	case FTModelReplicate:
@@ -128,6 +130,7 @@ const (
 	GranChunk
 )
 
+// String names the checkpoint granularity for flags and summaries.
 func (g Granularity) String() string {
 	if g == GranChunk {
 		return "chunk"
@@ -146,6 +149,7 @@ const (
 	LocDirectPFS
 )
 
+// String names the checkpoint location the way the paper's plots do.
 func (l Location) String() string {
 	if l == LocDirectPFS {
 		return "gpfs-direct"
@@ -257,28 +261,28 @@ type RecordWriter interface {
 type Spec struct {
 	Name     string // job name; namespaces output and checkpoints
 	JobID    string // distinct per submission chain; restarts reuse it
-	NumRanks int
+	NumRanks int    // world size to run the job on
 
 	InputPrefix string // PFS prefix holding the input chunk files
 
-	NewReader  func() FileRecordReader
-	NewMapper  func() Mapper
-	NewReducer func() Reducer
+	NewReader  func() FileRecordReader // per-rank input record reader factory
+	NewMapper  func() Mapper           // per-rank mapper factory
+	NewReducer func() Reducer          // per-rank reducer factory
 	// NewCombiner, when set, enables local pre-reduction before the shuffle
 	// (MR-MPI's "compress").
 	NewCombiner func() Combiner
 
-	Model       Model
-	Granularity Granularity
+	Model       Model       // fault-tolerance execution model (§4)
+	Granularity Granularity // checkpoint granularity: per record or per chunk
 	// CkptInterval is the number of committed records per checkpoint frame
 	// (record granularity). Zero means 100, the paper's default.
 	CkptInterval int
-	CkptLocation Location
+	CkptLocation Location // where checkpoint frames are written (§4.1.3)
 	// Prefetch enables the recovery prefetcher (§5.1): an agent stages
 	// checkpoint streams from the PFS to the local disk in bulk before the
 	// runner replays them.
-	Prefetch bool
-	Convert  ConvertAlgo
+	Prefetch bool        // stage checkpoint streams local before replay (§5.1)
+	Convert  ConvertAlgo // KV→KMV conversion algorithm for the merge phase
 	// LoadBalance enables the regression-based balancer for redistribution
 	// (§3.4); when disabled, failed work is split evenly.
 	LoadBalance bool

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"time"
 
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/storage"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
@@ -302,7 +303,8 @@ type ckptWriter struct {
 	m       *RankMetrics
 	rec     *trace.Recorder
 	cm      *coreMets
-	agent   *lbAgent    // fed phase-boundary drain stalls (trace LB model)
+	ip      *introspect.RankProbe // nil when introspection is disabled
+	agent   *lbAgent              // fed phase-boundary drain stalls (trace LB model)
 	rep     *replicator // nil when the in-memory replica tier is disabled
 }
 
@@ -371,7 +373,9 @@ func appendRepair(p *vtime.Proc, t *storage.Tier, path string, data []byte, ops 
 func (w *ckptWriter) phaseSync(p *vtime.Proc) {
 	if w.enabled && w.loc == LocLocalCopier && w.cp != nil {
 		t0 := p.Now()
+		w.ip.EnterDrain()
 		w.cp.drainWait(p)
+		w.ip.ExitDrain()
 		d := p.Now() - t0
 		w.m.IOWait += d
 		w.cm.ckptDrain(d)

@@ -13,8 +13,8 @@ import (
 // harness launches an application, drives the simulation, and then reads
 // the per-job Results.
 type Handle struct {
-	Clus  *cluster.Cluster
-	World *mpi.World
+	Clus  *cluster.Cluster // the simulated cluster the application runs on
+	World *mpi.World       // the launch world (pre-shrink communicator state)
 
 	appN    int
 	results []*Result

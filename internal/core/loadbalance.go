@@ -39,6 +39,7 @@ const (
 	LBTrace
 )
 
+// String names the balancer model for the -lb-model flag.
 func (k LBModelKind) String() string {
 	if k == LBTrace {
 		return "trace"

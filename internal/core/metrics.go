@@ -7,12 +7,12 @@ import "time"
 type Phase string
 
 const (
-	PhaseInit     Phase = "init"
-	PhaseMap      Phase = "map"
-	PhaseShuffle  Phase = "shuffle"
-	PhaseConvert  Phase = "merge" // the paper labels the conversion "merge"
-	PhaseReduce   Phase = "reduce"
-	PhaseRecovery Phase = "recovery"
+	PhaseInit     Phase = "init"     // startup: input split and task-table build
+	PhaseMap      Phase = "map"      // map tasks (read, map, emit, checkpoint)
+	PhaseShuffle  Phase = "shuffle"  // all-to-all exchange of KV pairs
+	PhaseConvert  Phase = "merge"    // KV→KMV conversion; the paper labels it "merge"
+	PhaseReduce   Phase = "reduce"   // reduce over grouped keys and output write
+	PhaseRecovery Phase = "recovery" // post-failure shrink, restore, and reprocess
 )
 
 // RecoveryBreakdown decomposes recovery time the way Figure 3 does.
@@ -30,7 +30,7 @@ func (r RecoveryBreakdown) Total() time.Duration {
 
 // RankMetrics accumulates one rank's accounting for a job attempt.
 type RankMetrics struct {
-	WorldRank int
+	WorldRank int  // launch (world) rank this row describes
 	Failed    bool // this rank was killed
 
 	CPUMain   time.Duration // main-thread compute
@@ -39,21 +39,21 @@ type RankMetrics struct {
 	CopierIO  time.Duration // storage waits (copier thread)
 	NetWait   time.Duration // time inside communication calls
 
-	PhaseTime map[Phase]time.Duration
-	Recovery  RecoveryBreakdown
+	PhaseTime map[Phase]time.Duration // wall time this rank spent per phase
+	Recovery  RecoveryBreakdown       // Figure 3 recovery-time decomposition
 
 	// Counters holds user-defined counters (TaskContext.AddCounter).
 	Counters map[string]int64
 
-	RecordsMapped   int64
-	RecordsSkipped  int64
-	RecordsRestored int64
-	GroupsReduced   int64
-	CkptFrames      int64
-	CkptBytes       int64
-	ShuffleBytes    int64
-	RecoveredFrames int64
-	RecoveredBytes  int64
+	RecordsMapped   int64 // input records run through the mapper
+	RecordsSkipped  int64 // committed records skipped during recovery re-read
+	RecordsRestored int64 // records restored from checkpoint frames
+	GroupsReduced   int64 // key groups run through the reducer
+	CkptFrames      int64 // checkpoint frames written
+	CkptBytes       int64 // checkpoint bytes written
+	ShuffleBytes    int64 // bytes sent during the shuffle exchange
+	RecoveredFrames int64 // checkpoint frames read back during recovery
+	RecoveredBytes  int64 // checkpoint bytes read back during recovery
 }
 
 func newRankMetrics(worldRank int) *RankMetrics {
@@ -66,7 +66,7 @@ func newRankMetrics(worldRank int) *RankMetrics {
 
 // Result reports the outcome of one job attempt.
 type Result struct {
-	Spec    Spec
+	Spec    Spec          // the job specification this attempt executed
 	Start   time.Duration // virtual submission time
 	End     time.Duration // virtual completion/abort time
 	Aborted bool          // true when the attempt died (needs restart)
@@ -180,20 +180,20 @@ func (r *Result) RecoveryTotal() RecoveryBreakdown {
 // ResultSummary is a JSON-friendly projection of a Result (Spec holds
 // factory functions and cannot be marshaled directly).
 type ResultSummary struct {
-	Job         string  `json:"job"`
-	Model       string  `json:"model"`
-	Ranks       int     `json:"ranks"`
-	Aborted     bool    `json:"aborted"`
-	ElapsedSec  float64 `json:"elapsed_sec"`
-	FailedRanks []int   `json:"failed_ranks,omitempty"`
+	Job         string  `json:"job"`                    // job name from the Spec
+	Model       string  `json:"model"`                  // execution model the attempt ran under
+	Ranks       int     `json:"ranks"`                  // launch world size
+	Aborted     bool    `json:"aborted"`                // true when the attempt died before finishing
+	ElapsedSec  float64 `json:"elapsed_sec"`            // virtual makespan in seconds
+	FailedRanks []int   `json:"failed_ranks,omitempty"` // world ranks lost during the attempt
 	// MissingRanks lists launch ranks with no metrics (see MissingRanks()).
 	MissingRanks []int              `json:"missing_ranks,omitempty"`
-	PhaseMaxSec  map[string]float64 `json:"phase_max_sec"`
-	PhaseAggSec  map[string]float64 `json:"phase_agg_sec"`
-	Recovery     map[string]float64 `json:"recovery_sec"`
-	Counters     map[string]int64   `json:"counters,omitempty"`
-	CkptBytes    int64              `json:"ckpt_bytes"`
-	CkptFrames   int64              `json:"ckpt_frames"`
+	PhaseMaxSec  map[string]float64 `json:"phase_max_sec"`      // per-phase max single-rank seconds
+	PhaseAggSec  map[string]float64 `json:"phase_agg_sec"`      // per-phase seconds summed across ranks
+	Recovery     map[string]float64 `json:"recovery_sec"`       // Figure 3 recovery breakdown, seconds
+	Counters     map[string]int64   `json:"counters,omitempty"` // user counters summed across ranks
+	CkptBytes    int64              `json:"ckpt_bytes"`         // checkpoint bytes written, all ranks
+	CkptFrames   int64              `json:"ckpt_frames"`        // checkpoint frames written, all ranks
 }
 
 // Summary builds the JSON-friendly projection.

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/kvbuf"
 	"ftmrmpi/internal/mpi"
 	"ftmrmpi/internal/storage"
@@ -66,8 +67,9 @@ type runner struct {
 	comm *mpi.Comm
 	p    *vtime.Proc
 	m    *RankMetrics
-	rec  *trace.Recorder // nil when tracing is disabled
-	cm   *coreMets       // nil when metrics are disabled; same one-branch discipline
+	rec  *trace.Recorder       // nil when tracing is disabled
+	cm   *coreMets             // nil when metrics are disabled; same one-branch discipline
+	ip   *introspect.RankProbe // nil when introspection is disabled; same one-branch discipline
 
 	world0    []int // world ranks participating at job start
 	tt        *taskTable
@@ -121,6 +123,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		m:          m,
 		rec:        c.Self().Recorder(),
 		cm:         cm,
+		ip:         c.Self().Probe(),
 		world0:     world0,
 		nParts:     c.Size(),
 		partOwner:  append([]int(nil), world0...),
@@ -150,6 +153,7 @@ func newRunner(j *jobCtx, c *mpi.Comm) *runner {
 		m:       m,
 		rec:     r.rec,
 		cm:      cm,
+		ip:      r.ip,
 		agent:   &r.lb,
 	}
 	if local == nil {
@@ -215,6 +219,7 @@ func (r *runner) run() error {
 		r.job.h.notifyPhase(r.myWorld(), ph)
 		t0 := r.p.Now()
 		r.rec.PhaseBegin(string(ph))
+		r.ip.SetPhase(string(ph))
 		var err error
 		switch r.phase {
 		case phInit:
@@ -346,6 +351,8 @@ func (r *runner) phaseMap() error {
 // runMapTask executes (or restores) one map task with fine-grained commits.
 func (r *runner) runMapTask(id int, mapper Mapper, reader FileRecordReader) error {
 	t0 := r.p.Now()
+	r.ip.SetTask(id)
+	defer r.ip.SetTask(introspect.NoValue)
 	task := r.tt.tasks[id]
 	clus := r.job.clus
 	ctx := &TaskContext{proc: r.p, run: r}

@@ -19,8 +19,8 @@ type Chunk struct {
 
 // Task is one map task (one chunk).
 type Task struct {
-	ID    int
-	Chunk Chunk
+	ID    int   // stable task id; hashed for owner assignment (§3.3)
+	Chunk Chunk // the input chunk this task processes
 }
 
 // splitmix64 hashes a task id for owner assignment ("a hashing-based task

@@ -1,0 +1,64 @@
+package introspect
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeSnapshot feeds arbitrary bytes to the introspection JSONL
+// reader: it must never panic, never hard-fail on damaged or torn input
+// (errors are reserved for schema-too-new headers), account every non-blank
+// line as either a record or a bad line, and every decoded record must
+// survive a re-encode/decode round trip.
+func FuzzDecodeSnapshot(f *testing.F) {
+	header := `{"format":"ftmr-introspect","schema":1}` + "\n"
+	snap := `{"kind":"snapshot","vt_us":10000,"seq":0,"ranks":[{"rank":0,"state":"recv","task":-2,"src":1,"tag":7,"comm":0,"seq":-2,"posted_us":0}],"edges":[{"from":0,"to":1,"why":"recv"}]}` + "\n"
+	stall := `{"kind":"stall","vt_us":10000,"reason":"deadlock-cycle","cycle":[0,1],"members":[{"rank":0,"reason":"recv src=w1 tag=7 comm=0"}],"oldest_us":0}` + "\n"
+	f.Add([]byte{})
+	f.Add([]byte(header))
+	f.Add([]byte(header + snap + stall))
+	f.Add([]byte(header + snap[:len(snap)/2])) // torn tail
+	f.Add([]byte(snap + stall))                // headerless
+	f.Add([]byte(header + `{"kind":"mystery"}` + "\n" + stall))
+	f.Add([]byte(`{"format":"ftmr-introspect","schema":2}` + "\n" + snap))
+	corrupt := []byte(header + snap)
+	corrupt[len(header)+20] ^= 0x80
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lines, rr, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // schema-too-new or oversized line: legal hard failure
+		}
+		if rr.Records != len(lines) {
+			t.Fatalf("report counts %d records, reader returned %d", rr.Records, len(lines))
+		}
+		accounted := rr.Records + rr.BadLines
+		if rr.Header {
+			accounted++
+		}
+		if accounted != rr.Lines {
+			t.Fatalf("%d records + %d bad + header(%v) != %d lines",
+				rr.Records, rr.BadLines, rr.Header, rr.Lines)
+		}
+		for i, ln := range lines {
+			if (ln.Snapshot == nil) == (ln.Stall == nil) {
+				t.Fatalf("line %d: exactly one of Snapshot/Stall must be set", i)
+			}
+			var re []byte
+			var err error
+			if ln.Snapshot != nil {
+				re, err = json.Marshal(ln.Snapshot)
+			} else {
+				re, err = json.Marshal(ln.Stall)
+			}
+			if err != nil {
+				t.Fatalf("line %d: re-encode: %v", i, err)
+			}
+			again, rr2, err := ReadJSONL(bytes.NewReader(append(re, '\n')))
+			if err != nil || !rr2.Clean() || len(again) != 1 {
+				t.Fatalf("line %d: re-decode: %v / %v (%d records)", i, err, rr2.Err(), len(again))
+			}
+		}
+	})
+}

@@ -1,0 +1,352 @@
+package introspect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Wire format: JSONL with a schema header line, mirroring the trace wire
+// format's conventions (DESIGN.md §"Trace wire format v2"): one JSON object
+// per line, damage-tolerant reads, and a hard error only for unreadable
+// input or a schema newer than the reader.
+
+// SchemaVersion is the snapshot wire-format version this package writes and
+// the newest it can read.
+const SchemaVersion = 1
+
+// formatName is the header's format discriminator.
+const formatName = "ftmr-introspect"
+
+// Line kind discriminators (the "kind" field of every non-header line).
+const (
+	lineSnapshot = "snapshot"
+	lineStall    = "stall"
+)
+
+// Stall report reasons.
+const (
+	// ReasonDeadlock marks a report raised by wait-for-graph cycle
+	// detection.
+	ReasonDeadlock = "deadlock-cycle"
+	// ReasonNoProgress marks a report raised by the wall-clock watchdog
+	// (a configured wall interval elapsed with zero virtual-time progress).
+	ReasonNoProgress = "no-progress"
+)
+
+// Wait-for edge kinds.
+const (
+	// WhyRecv marks a definite edge from a rank blocked in a
+	// specific-source receive to that source.
+	WhyRecv = "recv"
+	// WhyColl marks an edge from a collective participant to a group member
+	// that has provably not entered the collective yet.
+	WhyColl = "coll"
+)
+
+// RankState is one rank's captured state. Integer fields that do not apply
+// to the state hold NoValue (Src additionally uses AnySource for wildcard
+// receives); PostedUS is -1 when not applicable.
+type RankState struct {
+	// Rank is the world rank.
+	Rank int `json:"rank"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Phase is the runner phase annotation ("" when unannotated).
+	Phase string `json:"phase,omitempty"`
+	// Task is the annotated task id, or NoValue.
+	Task int `json:"task"`
+	// Src is the posted receive source as a world rank, AnySource, or
+	// NoValue when the rank is not blocked in a receive.
+	Src int `json:"src"`
+	// Tag is the posted receive tag (negative tags are internal collective
+	// traffic), or NoValue.
+	Tag int `json:"tag"`
+	// Comm is the communicator id of the blocking receive or collective, or
+	// NoValue.
+	Comm int `json:"comm"`
+	// Op is the collective operation name ("" outside collectives).
+	Op string `json:"op,omitempty"`
+	// Seq is the collective sequence number, or NoValue.
+	Seq int `json:"seq"`
+	// PostedUS is the blocked-since virtual time in microseconds (for
+	// StateRecv and blocked collectives), the timer fire time (for
+	// StateTimer), or -1.
+	PostedUS float64 `json:"posted_us"`
+}
+
+// Edge is one wait-for edge: From waits for To (world ranks).
+type Edge struct {
+	// From is the waiting world rank.
+	From int `json:"from"`
+	// To is the world rank being waited for.
+	To int `json:"to"`
+	// Why is the edge kind (WhyRecv or WhyColl).
+	Why string `json:"why"`
+}
+
+// Snapshot is one captured per-rank state set with its derived wait-for
+// graph.
+type Snapshot struct {
+	// Kind is always "snapshot".
+	Kind string `json:"kind"`
+	// VTus is the capture's virtual time in microseconds.
+	VTus float64 `json:"vt_us"`
+	// Seq is the snapshot index within the run.
+	Seq int `json:"seq"`
+	// Ranks holds one entry per world rank, ascending.
+	Ranks []RankState `json:"ranks"`
+	// Edges is the derived wait-for graph.
+	Edges []Edge `json:"edges,omitempty"`
+	// Outages lists storage tiers inside a fault-injected outage window at
+	// capture time.
+	Outages []Outage `json:"outages,omitempty"`
+}
+
+// StallMember is one rank implicated in a stall report, with its wait
+// reason.
+type StallMember struct {
+	// Rank is the world rank.
+	Rank int `json:"rank"`
+	// Reason is the human-oriented wait reason.
+	Reason string `json:"reason"`
+}
+
+// StallReport is one structured stall: a deadlock cycle or a watchdog
+// no-progress report.
+type StallReport struct {
+	// Kind is always "stall".
+	Kind string `json:"kind"`
+	// VTus is the virtual time of the snapshot the report derives from.
+	VTus float64 `json:"vt_us"`
+	// Reason is ReasonDeadlock or ReasonNoProgress.
+	Reason string `json:"reason"`
+	// Cycle lists the cycle members in wait order (deadlock reports only).
+	Cycle []int `json:"cycle,omitempty"`
+	// Members names every implicated rank with its wait reason.
+	Members []StallMember `json:"members,omitempty"`
+	// OldestUS is the oldest blocked-since virtual time among the members
+	// in microseconds, or -1 when none is blocked in a receive.
+	OldestUS float64 `json:"oldest_us"`
+}
+
+// Line is one decoded introspection record: exactly one of Snapshot or
+// Stall is non-nil.
+type Line struct {
+	// Snapshot is set for "snapshot" lines.
+	Snapshot *Snapshot
+	// Stall is set for "stall" lines.
+	Stall *StallReport
+}
+
+// jsonlHeader is the first line of an introspection JSONL file.
+type jsonlHeader struct {
+	Format string `json:"format"` // always "ftmr-introspect"
+	Schema int    `json:"schema"` // SchemaVersion at write time
+}
+
+// streamSink is a write-through JSONL sink with a sticky error, flushed by
+// FlushStream. Writes happen under the plane mutex so the sim-thread
+// capture path and the watchdog goroutine never interleave.
+type streamSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+func (s *streamSink) writeSnapshot(snap Snapshot) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(snap)
+}
+
+func (s *streamSink) writeStall(rep StallReport) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(rep)
+}
+
+// StreamJSONL attaches a write-through sink: the schema header is written
+// immediately, then every captured snapshot and stall report is written as
+// it happens (buffered; call FlushStream at the end). Pass nil to detach.
+// No-op on a nil plane.
+func (pl *Plane) StreamJSONL(w io.Writer) {
+	if pl == nil {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if w == nil {
+		pl.stream = nil
+		return
+	}
+	bw := bufio.NewWriter(w)
+	s := &streamSink{bw: bw, enc: json.NewEncoder(bw)}
+	s.err = s.enc.Encode(jsonlHeader{Format: formatName, Schema: SchemaVersion})
+	pl.stream = s
+}
+
+// FlushStream flushes the streaming sink and returns the first error it
+// encountered (nil when no sink is attached or on a nil plane).
+func (pl *Plane) FlushStream() error {
+	if pl == nil {
+		return nil
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.stream == nil {
+		return nil
+	}
+	if err := pl.stream.bw.Flush(); pl.stream.err == nil {
+		pl.stream.err = err
+	}
+	return pl.stream.err
+}
+
+// WriteJSONL writes the schema header followed by every retained snapshot
+// and stall report, in capture order (each stall immediately after the
+// snapshot that raised it). Post-run convenience writer; long-running sims
+// use StreamJSONL.
+func (pl *Plane) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Format: formatName, Schema: SchemaVersion}); err != nil {
+		return err
+	}
+	pl.mu.Lock()
+	journal := append([]Line(nil), pl.journal...)
+	pl.mu.Unlock()
+	for _, ln := range journal {
+		var err error
+		switch {
+		case ln.Snapshot != nil:
+			err = enc.Encode(*ln.Snapshot)
+		case ln.Stall != nil:
+			err = enc.Encode(*ln.Stall)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadReport is the parse accounting of one ReadJSONL call, mirroring the
+// trace reader: damaged lines are counted, not fatal, so a file cut short
+// by a crash (the introspection plane's prime use case) stays loadable.
+type ReadReport struct {
+	// Schema is the declared wire-format version (1 when no header line).
+	Schema int
+	// Header reports whether a header line was present.
+	Header bool
+	// Lines counts non-blank lines scanned, including the header.
+	Lines int
+	// Records counts lines decoded successfully.
+	Records int
+	// BadLines counts malformed or unknown-kind lines skipped.
+	BadLines int
+	// FirstBadLine is the 1-based line number of the first bad line (0 =
+	// none).
+	FirstBadLine int
+	// FirstBadErr is what was wrong with it.
+	FirstBadErr error
+}
+
+// Clean reports whether every scanned line decoded.
+func (rr *ReadReport) Clean() bool { return rr.BadLines == 0 }
+
+// Err summarizes the damage as one error, or nil when the read was clean.
+func (rr *ReadReport) Err() error {
+	if rr.Clean() {
+		return nil
+	}
+	return fmt.Errorf("introspect: %d of %d lines malformed (first at line %d: %v)",
+		rr.BadLines, rr.Lines, rr.FirstBadLine, rr.FirstBadErr)
+}
+
+// lineProbe sniffs a line's kind before full decoding.
+type lineProbe struct {
+	Kind string `json:"kind"`
+}
+
+// ReadJSONL decodes an introspection JSONL stream back into lines, in
+// stored order. Blank lines are skipped; malformed lines and unknown kinds
+// are skipped but counted in the ReadReport. The error return is reserved
+// for unreadable input: I/O failure, an oversized line, or a header
+// declaring a schema newer than this reader.
+func ReadJSONL(r io.Reader) ([]Line, *ReadReport, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	rr := &ReadReport{Schema: 1}
+	var out []Line
+	line := 0
+	bad := func(err error) {
+		rr.BadLines++
+		if rr.FirstBadLine == 0 {
+			rr.FirstBadLine = line
+			rr.FirstBadErr = err
+		}
+	}
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		rr.Lines++
+		if rr.Lines == 1 {
+			var hdr jsonlHeader
+			if err := json.Unmarshal(raw, &hdr); err == nil && hdr.Format == formatName {
+				if hdr.Schema > SchemaVersion {
+					return nil, rr, fmt.Errorf("introspect: file declares schema v%d, this reader understands <= v%d", hdr.Schema, SchemaVersion)
+				}
+				rr.Header = true
+				rr.Schema = hdr.Schema
+				continue
+			}
+			// No header; fall through and try the line as a record.
+		}
+		var probe lineProbe
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			bad(fmt.Errorf("jsonl line %d: %w", line, err))
+			continue
+		}
+		switch probe.Kind {
+		case lineSnapshot:
+			var snap Snapshot
+			if err := json.Unmarshal(raw, &snap); err != nil {
+				bad(fmt.Errorf("jsonl line %d: %w", line, err))
+				continue
+			}
+			out = append(out, Line{Snapshot: &snap})
+		case lineStall:
+			var rep StallReport
+			if err := json.Unmarshal(raw, &rep); err != nil {
+				bad(fmt.Errorf("jsonl line %d: %w", line, err))
+				continue
+			}
+			out = append(out, Line{Stall: &rep})
+		default:
+			bad(fmt.Errorf("jsonl line %d: unknown kind %q", line, probe.Kind))
+		}
+	}
+	rr.Records = len(out)
+	if err := sc.Err(); err != nil {
+		return out, rr, err
+	}
+	return out, rr, nil
+}
+
+// ReadJSONLFile is ReadJSONL over the named file.
+func ReadJSONLFile(path string) ([]Line, *ReadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

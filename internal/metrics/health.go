@@ -67,6 +67,15 @@ const (
 	// source that satisfied them (labeled source=replica-local |
 	// replica-peer | pfs), emitted by the internal/core failover chain.
 	MRecoveryReads = "ftmr_recovery_reads"
+	// MRankState is the number of ranks in each wait state at the last
+	// introspection snapshot (labeled state=running | recv | collective |
+	// ckpt-drain | timer | parked | dead), mirrored from the introspection
+	// plane's OnRankStates hook.
+	MRankState = "ftmr_rank_state"
+	// MIntrospectStalls counts stall reports (deadlock cycles or no-progress
+	// watchdog fires) emitted by the introspection plane. Any nonzero value
+	// means the run hung or deadlocked at some point.
+	MIntrospectStalls = "ftmr_introspect_stalls"
 )
 
 // Recovery read-path source label values the health engine reads from
@@ -121,6 +130,12 @@ type SLO struct {
 	// enabled most recovery reads should come from RAM; runs without
 	// recovery reads evaluate to 0 and always pass.
 	MaxRecoveryPFSShare float64
+	// MaxIntrospectStalls bounds the number of stall reports from the
+	// introspection plane (ftmr_introspect_stalls). A run that completed but
+	// tripped the deadlock detector or stall watchdog along the way is
+	// suspect; the default is strict (zero tolerance). Runs without the
+	// introspection plane evaluate to 0 and always pass.
+	MaxIntrospectStalls float64
 }
 
 // DefaultSLO returns the default gate: checkpoint overhead <= 7% (the
@@ -138,6 +153,7 @@ func DefaultSLO() SLO {
 		MaxMissingRanks:      -1,
 		MaxRecoveryPathShare: 0.9,
 		MaxRecoveryPFSShare:  -1,
+		MaxIntrospectStalls:  0,
 	}
 }
 
@@ -244,6 +260,7 @@ func Evaluate(snap Snapshot, slo SLO) Health {
 	recPeer := series(MRecoveryReads, recoverySourceReplicaPeer)
 	recPFS := series(MRecoveryReads, recoverySourcePFS)
 	pfsShare := ratio(recPFS, recLocal+recPeer+recPFS)
+	stalls := snap.Total(MIntrospectStalls)
 
 	h := Health{Indicators: []Indicator{
 		indicator("ckpt_overhead_fraction", overhead, slo.MaxCkptOverhead,
@@ -267,9 +284,12 @@ func Evaluate(snap Snapshot, slo SLO) Health {
 		indicator("recovery_read_pfs_share", pfsShare, slo.MaxRecoveryPFSShare,
 			fmt.Sprintf("recovery reads by source: replica-local %g, replica-peer %g, pfs %g",
 				recLocal, recPeer, recPFS)),
+		indicator("introspect_stalls", stalls, slo.MaxIntrospectStalls,
+			"stall reports (deadlock cycles + watchdog fires) from the introspection plane"),
 	}}
 	h.Degraded = missing > 0 || quarantines > 0 || snap.Total(MFailedRanks) > 0 ||
-		tracesDropped > 0 || series(MCritPathUnreliable, "unreliable") > 0
+		tracesDropped > 0 || series(MCritPathUnreliable, "unreliable") > 0 ||
+		stalls > 0
 	return h
 }
 

@@ -37,12 +37,14 @@ func TestMetricsOverheadGate(t *testing.T) {
 // BenchmarkMetricsOverheadDisabled measures the disabled hot path: the nil
 // instruments a nil registry hands out must cost a single branch each (plus
 // call overhead when not inlined). The loop mirrors one instrumented task
-// completion: a counter bump, a gauge set, and a histogram observation.
+// completion — a counter bump, gauge sets (including the labeled rank-state
+// gauge the introspection mirror writes), and a histogram observation.
 func BenchmarkMetricsOverheadDisabled(b *testing.B) {
 	var r *Registry
 	c := r.Counter("ftmr_bench", "h", 0)
 	cl := r.CounterL("ftmr_bench_l", "h", "source", "pfs")
 	g := r.Gauge("ftmr_bench_g", "h", 0)
+	gl := r.GaugeL(MRankState, "h", "state", "recv")
 	h := r.Histogram("ftmr_bench_h", "h", 0, TaskSecondsBuckets)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -50,6 +52,7 @@ func BenchmarkMetricsOverheadDisabled(b *testing.B) {
 		c.Add(2.5)
 		cl.Inc()
 		g.Set(float64(i))
+		gl.Set(float64(i & 7))
 		h.Observe(0.015)
 	}
 }
@@ -61,6 +64,7 @@ func BenchmarkMetricsOverheadEnabled(b *testing.B) {
 	c := r.Counter("ftmr_bench", "h", 0)
 	cl := r.CounterL("ftmr_bench_l", "h", "source", "pfs")
 	g := r.Gauge("ftmr_bench_g", "h", 0)
+	gl := r.GaugeL(MRankState, "h", "state", "recv")
 	h := r.Histogram("ftmr_bench_h", "h", 0, TaskSecondsBuckets)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -69,6 +73,7 @@ func BenchmarkMetricsOverheadEnabled(b *testing.B) {
 		c.Add(2.5)
 		cl.Inc()
 		g.Set(float64(i))
+		gl.Set(float64(i & 7))
 		h.Observe(0.015)
 	}
 }

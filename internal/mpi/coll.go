@@ -71,6 +71,10 @@ func prank(vr, root, n int) int { return (vr + root) % n }
 // failure it raises an error through the error handler.
 func (c *Comm) Barrier() error {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("barrier", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("barrier", c.st.id, seq)
@@ -90,6 +94,10 @@ func (c *Comm) Barrier() error {
 // must pass the same root; non-root ranks' data argument is ignored.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("bcast", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("bcast", c.st.id, seq)
@@ -123,6 +131,10 @@ func (c *Comm) bcastTree(seq, root int, data []byte) ([]byte, error) {
 // indexed by communicator rank; other ranks get nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("gather", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("gather", c.st.id, seq)
@@ -174,6 +186,10 @@ func (c *Comm) gatherTree(seq, root int, data []byte, out [][]byte) error {
 // communicator rank.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("allgather", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("allgather", c.st.id, seq)
@@ -223,6 +239,10 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 // commutative) and returns the result on every rank.
 func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) (int64, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("allreduce", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("allreduce", c.st.id, seq)
@@ -263,6 +283,10 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("mpi: Alltoallv needs %d buffers, got %d", n, len(bufs))
 	}
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("alltoallv", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("alltoallv", c.st.id, seq)

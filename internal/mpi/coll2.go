@@ -12,6 +12,10 @@ import (
 // receive 0.
 func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("reduce", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("reduce", c.st.id, seq)
@@ -41,6 +45,10 @@ func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) (int64,
 // tree as Bcast, forwarding each subtree's bundle.
 func (c *Comm) Scatter(root int, data [][]byte) ([]byte, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("scatter", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("scatter", c.st.id, seq)
@@ -104,6 +112,10 @@ func subtreeRanks(vr, n int) []int {
 // op(v₀, …, vᵢ). Implemented as a ring pass.
 func (c *Comm) ScanInt64(v int64, op func(a, b int64) int64) (int64, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("scan", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("scan", c.st.id, seq)
@@ -187,6 +199,10 @@ func (c *Comm) Probe(src, tag int) (msgSrc, msgTag, size int, err error) {
 // ranks.
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("split", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("split", c.st.id, seq)

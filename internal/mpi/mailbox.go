@@ -1,6 +1,10 @@
 package mpi
 
-import "ftmrmpi/internal/vtime"
+import (
+	"time"
+
+	"ftmrmpi/internal/vtime"
+)
 
 // Mailbox matching strategy. By default a mailbox upgrades from linear scans
 // to per-(src,tag) indexed buckets once it holds enough live messages or
@@ -69,6 +73,9 @@ type recvWait struct {
 	// seq is the mailbox-local posting sequence number; the indexed matcher
 	// uses it to reproduce exact posting-order selection across buckets.
 	seq uint64
+	// postedVT is the virtual time the wait was posted, stamped by addWaiter.
+	// The introspection plane reports it as the blocked-since time.
+	postedVT time.Duration
 }
 
 // expired reports that the wait can never match: satisfied already, or its
@@ -367,6 +374,7 @@ func (box *mailbox) eachMsg(fn func(*Message) bool) {
 func (box *mailbox) addWaiter(rw *recvWait) {
 	box.wseq++
 	rw.seq = box.wseq
+	rw.postedVT = rw.p.Now()
 	box.waiters = append(box.waiters, rw)
 	box.waitLive++
 	if box.wByKey != nil {
@@ -485,6 +493,17 @@ func (box *mailbox) takeWaiter(msg *Message) *recvWait {
 		}
 	}
 	return nil
+}
+
+// eachLiveWaiter calls fn on every live waiter in posting order without
+// completing or retiring anything — the introspection plane's read-only
+// walk (contrast eachWaiter, which completes waiters in bulk).
+func (box *mailbox) eachLiveWaiter(fn func(*recvWait)) {
+	for i := box.whead; i < len(box.waiters); i++ {
+		if rw := box.waiters[i]; rw != nil && !rw.expired() {
+			fn(rw)
+		}
+	}
 }
 
 // eachWaiter calls fn on every live waiter in posting order; when fn

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ftmrmpi/internal/cluster"
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/trace"
 	"ftmrmpi/internal/vtime"
 )
@@ -130,10 +131,18 @@ type Rank struct {
 	// met is the rank's metrics bundle; nil when metrics are disabled, with
 	// the same one-branch discipline as rec.
 	met *rankMets
+	// insp is the rank's introspection annotation cell; nil when the
+	// introspection plane is disabled, with the same one-branch discipline
+	// as rec and met.
+	insp *introspect.RankProbe
 }
 
 // Recorder returns the rank's trace recorder (nil when tracing is off).
 func (r *Rank) Recorder() *trace.Recorder { return r.rec }
+
+// Probe returns the rank's introspection annotation cell (nil when the
+// introspection plane is off; every probe method accepts a nil receiver).
+func (r *Rank) Probe() *introspect.RankProbe { return r.insp }
 
 // Proc returns the rank's simulated process.
 func (r *Rank) Proc() *vtime.Proc { return r.proc }
@@ -218,7 +227,8 @@ func Launch(clus *cluster.Cluster, n int, main func(c *Comm)) *World {
 	for i := 0; i < n; i++ {
 		i := i
 		r := &Rank{w: w, world: i, cpu: clus.CoreOf(i), node: clus.NodeOf(i), alive: true,
-			rec: clus.Trace.Rank(i), met: bindRankMets(clus.Metrics, i)}
+			rec: clus.Trace.Rank(i), met: bindRankMets(clus.Metrics, i),
+			insp: clus.Introspect.RankProbe(i)}
 		w.ranks = append(w.ranks, r)
 		r.proc = clus.Sim.Spawn(fmt.Sprintf("rank%d", i), func(p *vtime.Proc) {
 			defer func() { w.done++ }()
@@ -226,6 +236,7 @@ func Launch(clus *cluster.Cluster, n int, main func(c *Comm)) *World {
 		})
 		r.proc.OnKill(func() { w.noteFailure(i) })
 	}
+	clus.Introspect.AttachWorld(w)
 	return w
 }
 
@@ -649,6 +660,10 @@ func (c *Comm) Dup() (*Comm, error) {
 	// every rank performs the same sequence of Dup calls on a communicator,
 	// so the epochs agree. A barrier provides the synchronization point.
 	c.r.met.collInc()
+	if ip := c.r.insp; ip != nil {
+		ip.EnterColl("dup", c.st.id, c.peekSeq())
+		defer ip.ExitColl()
+	}
 	if rec := c.r.rec; rec != nil {
 		seq := c.peekSeq()
 		rec.CollBeginN("dup", c.st.id, seq)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"ftmrmpi/internal/introspect"
 	"ftmrmpi/internal/vtime"
 )
 
@@ -305,11 +306,13 @@ func TestTracerOverheadGate(t *testing.T) {
 // recorder call must cost a single branch (plus call overhead when not
 // inlined). Compare with BenchmarkTracerOverheadEnabled. The mix includes
 // the critical-path instrumentation (attribution stages, checkpoint stalls,
-// stamped collectives), the recovery-source attribution, and the
-// replication-model events (mirror/sync/failover) so new call sites stay
-// inside the same gate.
+// stamped collectives), the recovery-source attribution, the
+// replication-model events (mirror/sync/failover), and the introspection
+// probe annotations (phase/task/collective) so new call sites stay inside
+// the same gate.
 func BenchmarkTracerOverheadDisabled(b *testing.B) {
 	var rec *Recorder
+	var ip *introspect.RankProbe
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rec.SendBegin(1, 2, 64)
@@ -322,6 +325,10 @@ func BenchmarkTracerOverheadDisabled(b *testing.B) {
 		rec.ShadowMirror(1, 2, 64, 1)
 		rec.ShadowSync("push", 1, 2, 64)
 		rec.Failover(1, 2)
+		ip.SetPhase("map")
+		ip.SetTask(i)
+		ip.EnterColl("barrier", 1, i)
+		ip.ExitColl()
 	}
 }
 
@@ -329,8 +336,9 @@ func BenchmarkTracerOverheadDisabled(b *testing.B) {
 // (steady-state overwriting) ring, over the same call mix as the disabled
 // benchmark.
 func BenchmarkTracerOverheadEnabled(b *testing.B) {
-	_, tr := newTestTracer(1 << 10)
+	sim, tr := newTestTracer(1 << 10)
 	rec := tr.Rank(0)
+	ip := introspect.New(sim, time.Millisecond).RankProbe(0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -344,5 +352,9 @@ func BenchmarkTracerOverheadEnabled(b *testing.B) {
 		rec.ShadowMirror(1, 2, 64, 1)
 		rec.ShadowSync("push", 1, 2, 64)
 		rec.Failover(1, 2)
+		ip.SetPhase("map")
+		ip.SetTask(i)
+		ip.EnterColl("barrier", 1, i)
+		ip.ExitColl()
 	}
 }

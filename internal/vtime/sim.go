@@ -449,6 +449,44 @@ func (s *Sim) Stranded() []string {
 	return out
 }
 
+// Parked reports whether the process is currently parked (blocked waiting
+// for an event or an explicit Wake). Read-only introspection accessor: it is
+// meaningful only when read from scheduler context (a callback or another
+// process), where exactly zero processes are running.
+func (p *Proc) Parked() bool { return p.parked }
+
+// Started reports whether the process goroutine has begun executing (its
+// start event has fired). A spawned-but-unstarted process is neither parked
+// nor dead.
+func (p *Proc) Started() bool { return p.started }
+
+// Procs returns every process ever spawned on this simulation, in spawn
+// order (index == Proc.ID). The returned slice is a copy; the processes are
+// shared. Introspection accessor — callers must not retain it across
+// simulation steps they do not control.
+func (s *Sim) Procs() []*Proc {
+	return append([]*Proc(nil), s.procs...)
+}
+
+// TimerInventory returns, for every live process that has a pending
+// proc-bound event in the scheduler heap, the earliest virtual time at which
+// it will be resumed, keyed by process ID. A parked process absent from the
+// map is waiting for an explicit Wake (a mailbox match, a drain completion,
+// an outage ending); a parked process present in it is sleeping on a timer.
+// Cold-path introspection accessor: it walks the whole heap.
+func (s *Sim) TimerInventory() map[int]time.Duration {
+	out := make(map[int]time.Duration)
+	for _, e := range s.events {
+		if e.proc == nil || e.proc.dead {
+			continue
+		}
+		if at, ok := out[e.proc.id]; !ok || e.at < at {
+			out[e.proc.id] = e.at
+		}
+	}
+	return out
+}
+
 // wake schedules proc to resume at the current virtual time.
 func (s *Sim) wake(p *Proc) {
 	if p.dead {
